@@ -1,0 +1,120 @@
+// Command ccmanalyze compares the paper's closed-form performance model
+// (§IV-C, equations (3)–(13)) against the slot-level simulation, printing
+// predicted versus measured execution time and per-tag energy for each
+// inter-tag range.
+//
+// Example:
+//
+//	ccmanalyze -n 10000 -r 2,4,6,8,10 -app trp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"netags/internal/analysis"
+	"netags/internal/core"
+	"netags/internal/geom"
+	"netags/internal/gmle"
+	"netags/internal/topology"
+	"netags/internal/trp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccmanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccmanalyze", flag.ContinueOnError)
+	var (
+		n      = fs.Int("n", 10000, "number of tags")
+		rList  = fs.String("r", "2,4,6,8,10", "comma-separated inter-tag ranges")
+		app    = fs.String("app", "trp", "application parameters: trp | gmle")
+		seed   = fs.Uint64("seed", 1, "deployment/request seed")
+		byTier = fs.Bool("tiers", false, "also print the per-tier energy breakdown (the load-balance view)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var frame int
+	sampling := 1.0
+	switch *app {
+	case "trp":
+		frame = trp.PaperFrameSize
+	case "gmle":
+		frame = gmle.PaperFrameSize
+		sampling = gmle.SamplingFor(frame, float64(*n))
+	default:
+		return fmt.Errorf("unknown app %q", *app)
+	}
+
+	fmt.Printf("%s over CCM: model (eqs. 3–13) vs simulation, n=%d f=%d p=%.4f\n",
+		strings.ToUpper(*app), *n, frame, sampling)
+	fmt.Printf("%4s  %5s  %12s  %12s  %12s  %12s  %12s  %12s\n",
+		"r", "K", "time(model)", "time(sim)", "sent(model)", "sent(sim)", "recv(model)", "recv(sim)")
+
+	rs, err := parseFloats(*rList)
+	if err != nil {
+		return err
+	}
+	d := geom.NewUniformDisk(*n, 30, *seed)
+	for _, r := range rs {
+		rg := topology.PaperRanges(r)
+		nw, err := topology.Build(d, 0, rg)
+		if err != nil {
+			return err
+		}
+		res, err := core.RunSession(nw, core.Config{FrameSize: frame, Seed: *seed, Sampling: sampling})
+		if err != nil {
+			return err
+		}
+		in := func(i int) bool { return nw.Tier[i] > 0 }
+		sum := res.Meter.Summarize(in)
+
+		m := analysis.Model{
+			Ranges:    rg,
+			Density:   float64(*n) / (math.Pi * 900),
+			FrameSize: frame,
+			Sampling:  sampling,
+		}
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		fmt.Printf("%4g  %2d/%-2d  %12.0f  %12d  %12.1f  %12.1f  %12.0f  %12.1f\n",
+			r, m.Tiers(), nw.K,
+			m.ExecutionTimeSlots(), res.Clock.Total(),
+			m.AvgSentBits(), sum.AvgSent,
+			m.AvgReceivedBits(), sum.AvgReceived)
+		if *byTier {
+			// §VI-B2's load-balance observation: per-tier max ≈ avg.
+			perTier := res.Meter.SummarizeByTier(nw.Tier, nw.K)
+			for k := 1; k <= nw.K; k++ {
+				ts := perTier[k]
+				predSent, predRecv := m.SentBits(k), m.ReceivedBits(k)
+				fmt.Printf("        tier %d (%5d tags): sent avg %7.1f max %5d (model %7.1f)  recv avg %9.1f max %7d (model %9.0f)\n",
+					k, ts.Count, ts.AvgSent, ts.MaxSent, predSent, ts.AvgReceived, ts.MaxReceived, predRecv)
+			}
+		}
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad r value %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

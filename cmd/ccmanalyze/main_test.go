@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	for _, app := range []string{"trp", "gmle"} {
+		if err := run([]string{"-n", "500", "-r", "6", "-app", app}); err != nil {
+			t.Errorf("app %s: %v", app, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-app", "nope"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-r", "x"}); err == nil {
+		t.Error("bad r list accepted")
+	}
+}
+
+func TestRunTierBreakdown(t *testing.T) {
+	if err := run([]string{"-n", "400", "-r", "6", "-tiers"}); err != nil {
+		t.Fatal(err)
+	}
+}

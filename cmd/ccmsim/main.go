@@ -1,0 +1,149 @@
+// Command ccmsim runs a single system-level operation over one simulated
+// networked-tag deployment and prints the outcome with its costs.
+//
+// Examples:
+//
+//	ccmsim -op estimate -n 10000 -r 6
+//	ccmsim -op detect -n 10000 -r 6 -missing 80
+//	ccmsim -op search -n 5000 -r 4 -wanted 50
+//	ccmsim -op collect -n 2000 -r 6
+//	ccmsim -op bitmap -n 2000 -r 6 -frame 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netags"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccmsim", flag.ContinueOnError)
+	var (
+		op      = fs.String("op", "estimate", "operation: estimate | detect | search | collect | bitmap")
+		n       = fs.Int("n", 10000, "number of tags")
+		r       = fs.Float64("r", 6, "inter-tag range in meters")
+		seed    = fs.Uint64("seed", 1, "deployment + request seed")
+		missing = fs.Int("missing", 0, "tags to remove before a detect run")
+		wanted  = fs.Int("wanted", 20, "wanted list size for a search run (half present, half absent)")
+		frame   = fs.Int("frame", 512, "frame size for a raw bitmap run")
+		loss    = fs.Float64("loss", 0, "per-reception loss probability")
+		cicp    = fs.Bool("cicp", false, "use CICP instead of SICP for collect")
+		trace   = fs.Bool("trace", false, "print per-round convergence for a bitmap run")
+		lofEst  = fs.Bool("lof", false, "use the LoF sketch estimator instead of GMLE")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := netags.NewSystem(netags.SystemOptions{Tags: *n, InterTagRange: *r, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system: %d tags, %d reachable, %d tiers, density %.2f tags/m²\n",
+		sys.TagCount(), sys.Reachable(), sys.Tiers(), sys.Density())
+
+	switch *op {
+	case "estimate":
+		method := netags.EstimateGMLE
+		if *lofEst {
+			method = netags.EstimateLoF
+		}
+		res, err := sys.EstimateCardinality(netags.EstimateOptions{Method: method, Seed: *seed, LossProb: *loss})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("estimate: %.0f tags (true %d, error %+.2f%%) in %d frames, converged=%v\n",
+			res.Estimate, sys.Reachable(),
+			100*(res.Estimate-float64(sys.Reachable()))/float64(sys.Reachable()),
+			res.Frames, res.Converged)
+		printCost(res.Cost)
+
+	case "detect":
+		inventory := sys.ReachableIDs()
+		target := sys
+		if *missing > 0 {
+			if *missing > len(inventory) {
+				return fmt.Errorf("cannot remove %d of %d tags", *missing, len(inventory))
+			}
+			target, err = sys.RemoveTags(inventory[:*missing])
+			if err != nil {
+				return err
+			}
+			fmt.Printf("removed %d tags before detection\n", *missing)
+		}
+		res, err := target.DetectMissing(inventory, netags.DetectOptions{Seed: *seed, LossProb: *loss})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("detect: missing=%v, %d provably absent suspects, unknown tags=%v, %d rounds\n",
+			res.Missing, len(res.Suspects), res.UnknownTags, res.Rounds)
+		printCost(res.Cost)
+
+	case "search":
+		ids := sys.ReachableIDs()
+		half := *wanted / 2
+		if half > len(ids) {
+			half = len(ids)
+		}
+		list := append([]uint64{}, ids[:half]...)
+		for i := 0; i < *wanted-half; i++ {
+			list = append(list, 10_000_000+uint64(i))
+		}
+		res, err := sys.SearchTags(list, netags.SearchOptions{Seed: *seed, LossProb: *loss})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("search: %d/%d wanted IDs found, %d provably absent (analytic FP %.3f)\n",
+			len(res.Found), len(list), len(res.Absent), res.ExpectedFalsePositiveRate)
+		printCost(res.Cost)
+
+	case "collect":
+		res, err := sys.CollectIDs(netags.CollectOptions{Seed: *seed, Contention: *cicp})
+		if err != nil {
+			return err
+		}
+		name := "SICP"
+		if *cicp {
+			name = "CICP"
+		}
+		fmt.Printf("%s: collected %d IDs, tree depth %d\n", name, len(res.IDs), res.TreeDepth)
+		printCost(res.Cost)
+
+	case "bitmap":
+		sopts := netags.SessionOptions{FrameSize: *frame, Seed: *seed, LossProb: *loss}
+		if *trace {
+			fmt.Printf("%6s  %12s  %10s  %9s  %10s  %11s\n",
+				"round", "transmitters", "bits sent", "new busy", "known busy", "check slots")
+			sopts.OnRound = func(ri netags.RoundInfo) {
+				fmt.Printf("%6d  %12d  %10d  %9d  %10d  %11d\n",
+					ri.Round, ri.Transmitters, ri.BitsSent, ri.NewBusy, ri.KnownBusy, ri.CheckSlots)
+			}
+		}
+		res, err := sys.CollectBitmap(sopts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bitmap: %d/%d busy slots in %d rounds, truncated=%v\n",
+			len(res.BusySlots), res.FrameSize, res.Rounds, res.Truncated)
+		printCost(res.Cost)
+
+	default:
+		return fmt.Errorf("unknown operation %q", *op)
+	}
+	return nil
+}
+
+func printCost(c netags.Cost) {
+	fmt.Printf("cost: %d slots (%d short + %d long)\n", c.Slots, c.ShortSlots, c.LongSlots)
+	fmt.Printf("      per-tag bits sent avg %.1f max %d, received avg %.1f max %d\n",
+		c.AvgBitsSent, c.MaxBitsSent, c.AvgBitsReceived, c.MaxBitsReceived)
+}

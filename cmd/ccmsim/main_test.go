@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunAllOperations(t *testing.T) {
+	base := []string{"-n", "400", "-r", "6", "-seed", "3"}
+	cases := [][]string{
+		append([]string{"-op", "estimate"}, base...),
+		append([]string{"-op", "detect", "-missing", "20"}, base...),
+		append([]string{"-op", "search", "-wanted", "10"}, base...),
+		append([]string{"-op", "collect"}, base...),
+		append([]string{"-op", "collect", "-cicp"}, base...),
+		append([]string{"-op", "bitmap", "-frame", "128"}, base...),
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-op", "nonsense", "-n", "50"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := run([]string{"-op", "detect", "-n", "50", "-missing", "9999"}); err == nil {
+		t.Error("removing more tags than exist accepted")
+	}
+}
+
+func TestRunVariantFlags(t *testing.T) {
+	cases := [][]string{
+		{"-op", "estimate", "-n", "400", "-r", "6", "-lof"},
+		{"-op", "bitmap", "-n", "400", "-r", "6", "-frame", "64", "-trace"},
+		{"-op", "detect", "-n", "400", "-r", "6", "-loss", "0.2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}

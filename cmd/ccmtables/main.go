@@ -1,0 +1,161 @@
+// Command ccmtables regenerates the tables and figures of the paper's
+// evaluation section (§VI): Fig. 3 (tiers), Fig. 4 (execution time) and
+// Tables I–IV (per-tag energy), for SICP, GMLE-CCM and TRP-CCM.
+//
+// Examples:
+//
+//	ccmtables -all                      # everything, scaled-down trials
+//	ccmtables -all -trials 100          # the paper's full 100 trials
+//	ccmtables -figure 4 -r 2,4,6,8,10
+//	ccmtables -table 3 -csv out.csv
+//	ccmtables -all -ablation            # CCM without the indicator vector
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"netags/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccmtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccmtables", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 10000, "number of tags")
+		trials   = fs.Int("trials", 10, "trials per r value (paper uses 100)")
+		rList    = fs.String("r", "2,3,4,5,6,7,8,9,10", "comma-separated inter-tag ranges")
+		figure   = fs.Int("figure", 0, "render figure 3 or 4")
+		table    = fs.Int("table", 0, "render table 1..4")
+		all      = fs.Bool("all", false, "render every figure and table")
+		seed     = fs.Uint64("seed", 1, "sweep seed")
+		csvPath  = fs.String("csv", "", "also write all metrics to this CSV file")
+		protos   = fs.String("protocols", "SICP,GMLE-CCM,TRP-CCM", "protocols to run")
+		ablation = fs.Bool("ablation", false, "disable the indicator vector (flooding ablation)")
+		loss     = fs.String("loss", "", "run the unreliable-channel sweep over these loss probabilities instead")
+		density  = fs.String("density", "", "run the population sweep over these n values instead")
+		quiet    = fs.Bool("quiet", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *density != "" {
+		values, err := parseFloats(*density)
+		if err != nil {
+			return err
+		}
+		rs, err := parseFloats(*rList)
+		if err != nil {
+			return err
+		}
+		ns := make([]int, len(values))
+		for i, v := range values {
+			ns[i] = int(v)
+		}
+		res, err := experiment.RunDensitySweep(experiment.DensityConfig{
+			NValues: ns,
+			Radius:  30,
+			R:       rs[0],
+			Trials:  *trials,
+			Seed:    *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		return nil
+	}
+	if *loss != "" {
+		values, err := parseFloats(*loss)
+		if err != nil {
+			return err
+		}
+		rs, err := parseFloats(*rList)
+		if err != nil {
+			return err
+		}
+		res, err := experiment.RunLossSweep(experiment.LossConfig{
+			N:          *n,
+			Radius:     30,
+			R:          rs[0],
+			Trials:     *trials,
+			Seed:       *seed,
+			LossValues: values,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		return nil
+	}
+	if !*all && *figure == 0 && *table == 0 {
+		*all = true
+	}
+
+	cfg := experiment.Paper()
+	cfg.N = *n
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+	cfg.DisableIndicatorVector = *ablation
+	var err error
+	if cfg.RValues, err = parseFloats(*rList); err != nil {
+		return err
+	}
+	cfg.Protocols = nil
+	for _, p := range strings.Split(*protos, ",") {
+		cfg.Protocols = append(cfg.Protocols, experiment.Protocol(strings.TrimSpace(p)))
+	}
+
+	progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
+	if *quiet {
+		progress = nil
+	}
+	res, err := experiment.Run(cfg, progress)
+	if err != nil {
+		return err
+	}
+
+	if *all || *figure == 3 {
+		fmt.Println(res.RenderFig3())
+	}
+	if *all || *figure == 4 {
+		fmt.Println(res.RenderFig4())
+	}
+	tables := []experiment.TableMetric{
+		experiment.TableMaxSent, experiment.TableMaxReceived,
+		experiment.TableAvgSent, experiment.TableAvgReceived,
+	}
+	for i, tm := range tables {
+		if *all || *table == i+1 {
+			fmt.Println(res.RenderTable(tm))
+		}
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(res.CSV()), 0o644); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *csvPath)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad r value %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

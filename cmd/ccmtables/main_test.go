@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("2, 4,6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+	if _, err := parseFloats("2,x"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	err := run([]string{
+		"-n", "400", "-trials", "1", "-r", "6", "-all", "-quiet",
+		"-csv", csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "r,protocol,metric,") {
+		t.Fatalf("unexpected CSV: %s", data[:60])
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-r", "nope"}); err == nil {
+		t.Fatal("bad r list accepted")
+	}
+	if err := run([]string{"-n", "100", "-trials", "1", "-r", "6", "-protocols", "bogus", "-quiet"}); err == nil {
+		t.Fatal("bogus protocol accepted")
+	}
+}
+
+func TestRunLossMode(t *testing.T) {
+	if err := run([]string{"-n", "300", "-trials", "1", "-r", "6", "-loss", "0,0.5", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "300", "-trials", "1", "-r", "6", "-loss", "bogus"}); err == nil {
+		t.Fatal("bad loss list accepted")
+	}
+}
+
+func TestRunDensityMode(t *testing.T) {
+	if err := run([]string{"-trials", "1", "-r", "6", "-density", "300,600", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trials", "1", "-r", "6", "-density", "x"}); err == nil {
+		t.Fatal("bad density list accepted")
+	}
+}

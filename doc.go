@@ -1,0 +1,39 @@
+// Package netags is a simulation library for system-level functions over
+// state-free networked RFID tags, reproducing "Collision-resistant
+// Communication Model for State-free Networked Tags" (Liu, Zhang, Chen,
+// Chen, Chen — IEEE ICDCS 2019).
+//
+// Networked tags extend classic RFID with tag-to-tag links: a reader that
+// cannot reach every tag directly can still run inventory-wide functions if
+// tags relay for each other. The paper's contribution, the
+// Collision-resistant Communication Model (CCM), relays one-bit "slot busy"
+// marks tier by tier toward the reader, letting simultaneous transmissions
+// merge instead of colliding destructively, and silences already-delivered
+// slots with an indicator vector. This package exposes CCM and four
+// system-level functions built on it or compared against it:
+//
+//   - EstimateCardinality — GMLE population estimation (paper §IV)
+//   - DetectMissing — TRP missing-tag detection (paper §V)
+//   - SearchTags — Bloom-style tag search (paper §III-B)
+//   - CollectIDs — the SICP/CICP ID-collection baselines (paper §VI)
+//
+// Everything is a deterministic slot-level simulation: construct a System
+// (a deployment of tags around one or more readers), then invoke operations
+// on it. Costs are reported in the paper's units — slot counts for time,
+// per-tag bits sent/received for energy.
+//
+// # Quick start
+//
+//	sys, err := netags.NewSystem(netags.SystemOptions{
+//		Tags:          10000,
+//		InterTagRange: 6,
+//		Seed:          1,
+//	})
+//	if err != nil { ... }
+//	est, err := sys.EstimateCardinality(netags.EstimateOptions{})
+//	fmt.Printf("≈%.0f tags (true %d), %d slots of air time\n",
+//		est.Estimate, sys.Reachable(), est.Cost.Slots)
+//
+// The cmd/ tools regenerate the paper's tables and figures; see DESIGN.md
+// for the experiment index and EXPERIMENTS.md for measured results.
+package netags

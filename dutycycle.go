@@ -1,0 +1,61 @@
+package netags
+
+import "netags/internal/dutycycle"
+
+// DutyCycleParams describes the sleep–wake contract of §II: state-free tags
+// sleep between operations, wake to listen for a reader request, and are
+// loosely re-synchronized by each request they catch. Time units are
+// arbitrary but must be consistent (e.g. milliseconds).
+type DutyCycleParams struct {
+	// SleepPeriod is the nominal time a tag sleeps between listen windows.
+	SleepPeriod float64
+	// ListenWindow is how long a tag listens after waking before timing
+	// out and sleeping again.
+	ListenWindow float64
+	// MaxDrift bounds each tag's clock-drift rate (fraction, e.g. 0.005).
+	MaxDrift float64
+	// BroadcastDelay is the worst-case request propagation delay.
+	BroadcastDelay float64
+}
+
+// RequestInterval returns the paper's scheduling rule made concrete: the
+// reader's next request goes out "a little later than the timeout period
+// set by the tags" — SleepPeriod·(1+MaxDrift)+BroadcastDelay — so even the
+// slowest-drifting tag is awake when it arrives.
+func (p DutyCycleParams) RequestInterval() float64 {
+	return dutycycle.Params(p).RequestInterval()
+}
+
+// Feasible reports whether any schedule can reach every tag: the listen
+// window must absorb twice the per-period drift plus the broadcast delay.
+func (p DutyCycleParams) Feasible() bool {
+	return dutycycle.Params(p).Feasible()
+}
+
+// DutyCycleOutcome reports a simulated request schedule.
+type DutyCycleOutcome struct {
+	// AwakePerRequest[k] is the number of tags that caught request k.
+	AwakePerRequest []int
+	// MissedPerRequest[k] lists the tag indices that slept through request
+	// k — temporarily outside the system for that operation.
+	MissedPerRequest [][]int
+	// AllCaught reports whether every tag caught every request.
+	AllCaught bool
+}
+
+// SimulateDutyCycle runs nTags drifting tag clocks through nRequests reader
+// requests spaced interval apart, reporting who was awake for each. Use it
+// to validate a deployment's sleep schedule before trusting operation
+// results: tags that miss the request are invisible to that operation, so
+// estimation undercounts and detection false-alarms.
+func SimulateDutyCycle(p DutyCycleParams, nTags, nRequests int, interval float64, seed uint64) (*DutyCycleOutcome, error) {
+	out, err := dutycycle.Simulate(dutycycle.Params(p), nTags, nRequests, interval, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &DutyCycleOutcome{
+		AwakePerRequest:  out.AwakePerRequest,
+		MissedPerRequest: out.MissedPerRequest,
+		AllCaught:        out.AllCaught,
+	}, nil
+}

@@ -1,0 +1,48 @@
+package netags
+
+import "testing"
+
+func TestDutyCycleRule(t *testing.T) {
+	p := DutyCycleParams{
+		SleepPeriod:    10000,
+		ListenWindow:   150,
+		MaxDrift:       0.005,
+		BroadcastDelay: 5,
+	}
+	if !p.Feasible() {
+		t.Fatal("feasible schedule reported infeasible")
+	}
+	if got := p.RequestInterval(); got <= p.SleepPeriod {
+		t.Fatalf("interval %v not later than the sleep period", got)
+	}
+	out, err := SimulateDutyCycle(p, 200, 50, p.RequestInterval(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllCaught {
+		t.Fatal("paper's rule missed tags")
+	}
+	if len(out.AwakePerRequest) != 50 || len(out.MissedPerRequest) != 50 {
+		t.Fatal("per-request reports incomplete")
+	}
+}
+
+func TestDutyCycleMisprovisioned(t *testing.T) {
+	p := DutyCycleParams{SleepPeriod: 10000, ListenWindow: 20, MaxDrift: 0.05}
+	if p.Feasible() {
+		t.Fatal("undersized window reported feasible")
+	}
+	out, err := SimulateDutyCycle(p, 200, 50, p.SleepPeriod, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AllCaught {
+		t.Fatal("infeasible schedule caught everything (implausible)")
+	}
+}
+
+func TestDutyCycleValidation(t *testing.T) {
+	if _, err := SimulateDutyCycle(DutyCycleParams{}, 10, 10, 1, 1); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

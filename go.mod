@@ -1,0 +1,3 @@
+module netags
+
+go 1.22

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"netags/internal/bitmap"
+	"netags/internal/energy"
+	"netags/internal/geom"
+	"netags/internal/topology"
+)
+
+// MultiResult reports a multi-reader session (§III-G).
+type MultiResult struct {
+	// Bitmap is B = B_1 | B_2 | … | B_M (eq. (1)).
+	Bitmap *bitmap.Bitmap
+	// PerReader holds each reader's individual session result.
+	PerReader []*Result
+	// Clock is the total air time: the readers run round-robin, each in its
+	// own window, so windows add up.
+	Clock energy.Clock
+	// Meter is the per-tag energy summed over every window a tag
+	// participated in.
+	Meter *energy.Meter
+}
+
+// RunMultiSession executes one CCM session per reader of the deployment,
+// round-robin (the paper's conservative schedule that always avoids
+// reader-to-reader collisions), and combines the bitmaps with bitwise OR.
+// All sessions share the config; the deployment must have ≥ 1 reader.
+func RunMultiSession(d *geom.Deployment, rg topology.Ranges, cfg Config) (*MultiResult, error) {
+	if len(d.Readers) == 0 {
+		return nil, fmt.Errorf("core: deployment has no readers")
+	}
+	if cfg.FrameSize <= 0 {
+		return nil, fmt.Errorf("core: frame size must be positive, got %d", cfg.FrameSize)
+	}
+	mr := &MultiResult{
+		Bitmap: bitmap.New(cfg.FrameSize),
+		Meter:  energy.NewMeter(d.N()),
+	}
+	for ri := range d.Readers {
+		nw, err := topology.Build(d, ri, rg)
+		if err != nil {
+			return nil, fmt.Errorf("reader %d: %w", ri, err)
+		}
+		res, err := RunSession(nw, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("reader %d: %w", ri, err)
+		}
+		mr.PerReader = append(mr.PerReader, res)
+		mr.Bitmap.Or(res.Bitmap)
+		mr.Clock.Add(res.Clock)
+		mr.Meter.Merge(res.Meter)
+	}
+	return mr, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"netags/internal/geom"
+	"netags/internal/topology"
+)
+
+func TestMultiReaderCombinesBitmaps(t *testing.T) {
+	// Two readers far apart, each with its own chain of tags; neither
+	// reader alone covers both chains.
+	d := &geom.Deployment{
+		Tags: []geom.Point{
+			{X: -45}, {X: -40}, // reachable only from reader 0 at -60
+			{X: 45}, {X: 40}, // reachable only from reader 1 at +60
+		},
+		Readers: []geom.Point{{X: -60}, {X: 60}},
+		Radius:  70,
+	}
+	rg := topology.Ranges{ReaderToTag: 30, TagToReader: 20, TagToTag: 6}
+	cfg := Config{
+		FrameSize: 16,
+		Picker:    fixedPicker(map[int][]int{0: {1}, 1: {2}, 2: {3}, 3: {4}}),
+	}
+	mr, err := RunMultiSession(d, rg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slot := range []int{1, 2, 3, 4} {
+		if !mr.Bitmap.Get(slot) {
+			t.Errorf("slot %d missing from combined bitmap", slot)
+		}
+	}
+	if len(mr.PerReader) != 2 {
+		t.Fatalf("per-reader results = %d, want 2", len(mr.PerReader))
+	}
+	// Each reader alone sees only its side.
+	if mr.PerReader[0].Bitmap.Get(3) || mr.PerReader[1].Bitmap.Get(1) {
+		t.Error("a reader saw bits from the other reader's side")
+	}
+	// Round-robin windows add up.
+	wantClock := mr.PerReader[0].Clock
+	wantClock.Add(mr.PerReader[1].Clock)
+	if mr.Clock != wantClock {
+		t.Errorf("clock = %+v, want %+v", mr.Clock, wantClock)
+	}
+}
+
+func TestMultiReaderMatchesEquationOne(t *testing.T) {
+	// B must equal B_1 | B_2 (eq. (1)) even when coverages overlap.
+	d := geom.NewUniformDiskMultiReader(800, 30, []geom.Point{{X: -5}, {X: 5}}, 31)
+	rg := topology.PaperRanges(5)
+	cfg := Config{FrameSize: 256, Seed: 2, Sampling: 1}
+	mr, err := RunMultiSession(d, rg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mr.PerReader[0].Bitmap.Clone()
+	want.Or(mr.PerReader[1].Bitmap)
+	if !mr.Bitmap.Equal(want) {
+		t.Fatal("combined bitmap is not the OR of per-reader bitmaps")
+	}
+}
+
+func TestMultiReaderErrors(t *testing.T) {
+	d := &geom.Deployment{Radius: 30}
+	if _, err := RunMultiSession(d, topology.PaperRanges(6), Config{FrameSize: 8}); err == nil {
+		t.Error("deployment without readers accepted")
+	}
+	d2 := geom.NewUniformDisk(10, 30, 1)
+	if _, err := RunMultiSession(d2, topology.PaperRanges(6), Config{FrameSize: 0}); err == nil {
+		t.Error("zero frame size accepted")
+	}
+	if _, err := RunMultiSession(d2, topology.Ranges{}, Config{FrameSize: 8}); err == nil {
+		t.Error("invalid ranges accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"netags/internal/bitmap"
+	"netags/internal/topology"
+)
+
+// DirectBitmap computes the status bitmap a traditional RFID system would
+// produce if every reachable tag sat in the reader's direct neighborhood:
+// the OR of all tags' slot picks. Theorem 1 states that a CCM session yields
+// exactly this bitmap; the test suite holds RunSession to it, and the
+// estimator/detector packages use it as the semantic ground truth.
+func DirectBitmap(nw *topology.Network, cfg Config) (*bitmap.Bitmap, error) {
+	if err := cfg.validate(nw); err != nil {
+		return nil, err
+	}
+	return directBitmap(nw, cfg), nil
+}
+
+func directBitmap(nw *topology.Network, cfg Config) *bitmap.Bitmap {
+	b := bitmap.New(cfg.FrameSize)
+	pick := cfg.Picker
+	if pick == nil {
+		pick = defaultPicker(cfg)
+	}
+	for i := 0; i < nw.N(); i++ {
+		if nw.Tier[i] == 0 {
+			continue
+		}
+		for _, slot := range pick(i, cfg.id(i)) {
+			if slot >= 0 && slot < cfg.FrameSize {
+				b.Set(slot)
+			}
+		}
+	}
+	return b
+}

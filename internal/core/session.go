@@ -1,0 +1,375 @@
+package core
+
+import (
+	"netags/internal/bitmap"
+	"netags/internal/energy"
+	"netags/internal/prng"
+	"netags/internal/topology"
+)
+
+// Per-slot, per-tag state over the frame. A slot advances
+// unknown → scheduled → transmitted, or is forced to silenced by the
+// indicator vector at any point before transmission.
+const (
+	slotUnknown     uint8 = iota // tag listens here
+	slotScheduled                // tag will transmit here next frame
+	slotTransmitted              // tag already transmitted here; sleeps
+	slotSilenced                 // reader announced the slot busy; sleeps
+)
+
+// Result reports everything a CCM session produced.
+type Result struct {
+	// Bitmap is the final information bitmap B (Algorithm 1's output).
+	Bitmap *bitmap.Bitmap
+	// Rounds is the number of full rounds executed.
+	Rounds int
+	// Clock is the session's execution time in slots.
+	Clock energy.Clock
+	// Meter holds per-tag energy (bits sent / received).
+	Meter *energy.Meter
+	// Truncated reports that the session ended with data still pending —
+	// either the round bound was hit or the checking frame was too short
+	// for the network's true tier count.
+	Truncated bool
+	// NewBusyPerRound[i] is the number of slots first reported busy to the
+	// reader in round i+1 (diagnostic: the per-tier information waves).
+	NewBusyPerRound []int
+	// CheckSlotsPerRound[i] is the number of checking-frame slots executed
+	// after round i+1.
+	CheckSlotsPerRound []int
+}
+
+// session carries the mutable state of one run.
+type session struct {
+	nw  *topology.Network
+	cfg Config
+	f   int
+
+	// state is the n×f slot-state matrix, row-major.
+	state []uint8
+	// scheduled[i] lists tag i's slots in state slotScheduled. Entries whose
+	// state has moved on (silenced) are skipped when the list is drained.
+	scheduled [][]int32
+	// schedCount[i] is the number of state==slotScheduled entries of tag i,
+	// i.e. whether the tag needs to transmit next round.
+	schedCount []int32
+	// unknownCount[i] is the number of state==slotUnknown slots of tag i,
+	// i.e. how many slots it monitors per frame.
+	unknownCount []int32
+	// tier1 marks tags the reader can hear directly.
+	tier1 []bool
+
+	meter *energy.Meter
+	clock energy.Clock
+
+	// reader-side bitmaps
+	known     *bitmap.Bitmap // V: all slots the reader knows are busy
+	roundBusy *bitmap.Bitmap // busy slots heard by the reader this round
+
+	loss *prng.Source // nil when the channel is reliable
+}
+
+// RunSession executes one CCM session (Algorithm 1) over the network.
+func RunSession(nw *topology.Network, cfg Config) (*Result, error) {
+	if err := cfg.validate(nw); err != nil {
+		return nil, err
+	}
+	n := nw.N()
+	s := &session{
+		nw:           nw,
+		cfg:          cfg,
+		f:            cfg.FrameSize,
+		state:        make([]uint8, n*cfg.FrameSize),
+		scheduled:    make([][]int32, n),
+		schedCount:   make([]int32, n),
+		unknownCount: make([]int32, n),
+		tier1:        make([]bool, n),
+		meter:        energy.NewMeter(n),
+		known:        bitmap.New(cfg.FrameSize),
+		roundBusy:    bitmap.New(cfg.FrameSize),
+	}
+	if cfg.LossProb > 0 {
+		s.loss = prng.New(cfg.LossSeed)
+	}
+	for i := 0; i < n; i++ {
+		s.unknownCount[i] = int32(s.f)
+		s.tier1[i] = nw.Tier[i] == 1
+	}
+	s.seedInitialPicks()
+	return s.run(), nil
+}
+
+// dropped reports whether a reception event is lost on the unreliable
+// channel.
+func (s *session) dropped() bool {
+	return s.loss != nil && s.loss.Float64() < s.cfg.LossProb
+}
+
+// defaultPicker is the single-slot sampled choice of §IV/§V: participate
+// with probability p, then hash ID and seed into one slot.
+func defaultPicker(cfg Config) SlotPicker {
+	seed, p, f := cfg.Seed, cfg.Sampling, cfg.FrameSize
+	return func(_ int, id uint64) []int {
+		if !prng.Participates(id, seed, p) {
+			return nil
+		}
+		return []int{prng.SlotOf(id, seed, f)}
+	}
+}
+
+// seedInitialPicks applies the slot picker: round 1 is the only round in
+// which tags originate information (§III-C line 7).
+func (s *session) seedInitialPicks() {
+	pick := s.cfg.Picker
+	if pick == nil {
+		pick = defaultPicker(s.cfg)
+	}
+	for i := 0; i < s.nw.N(); i++ {
+		if s.nw.Tier[i] == 0 {
+			// Tags that cannot reach the reader are outside the system
+			// (§II); in the paper's setting they also sit beyond every
+			// neighbor, so they stay silent.
+			continue
+		}
+		for _, slot := range pick(i, s.cfg.id(i)) {
+			if slot < 0 || slot >= s.f {
+				continue
+			}
+			if s.mark(i, slot, slotScheduled) {
+				s.scheduled[i] = append(s.scheduled[i], int32(slot))
+			}
+		}
+	}
+}
+
+// mark transitions tag i's slot to the given state if the slot is currently
+// unknown, maintaining the counters. It reports whether the transition
+// happened.
+func (s *session) mark(i, slot int, st uint8) bool {
+	idx := i*s.f + slot
+	if s.state[idx] != slotUnknown {
+		return false
+	}
+	s.state[idx] = st
+	s.unknownCount[i]--
+	if st == slotScheduled {
+		s.schedCount[i]++
+	}
+	return true
+}
+
+func (s *session) run() *Result {
+	res := &Result{Meter: s.meter}
+	maxRounds := s.cfg.maxRounds(s.nw)
+	for round := 1; round <= maxRounds; round++ {
+		txTags, txBits := s.runRound(res)
+		res.Rounds = round
+		more := s.runCheckingFrame(res)
+		if s.cfg.Trace != nil {
+			s.cfg.Trace(RoundTrace{
+				Round:        round,
+				Transmitters: txTags,
+				BitsSent:     txBits,
+				NewBusy:      res.NewBusyPerRound[round-1],
+				KnownBusy:    s.known.Count(),
+				CheckSlots:   res.CheckSlotsPerRound[round-1],
+				MorePending:  more,
+			})
+		}
+		if !more {
+			break // nothing pending anywhere the reader could hear
+		}
+	}
+	res.Clock = s.clock
+	res.Bitmap = s.known.Clone()
+	for i := range s.schedCount {
+		if s.schedCount[i] > 0 {
+			res.Truncated = true
+			break
+		}
+	}
+	return res
+}
+
+// runRound executes the request broadcast, the f-slot frame, and the
+// indicator-vector broadcast of one round. It returns the number of
+// transmitting tags and the frame bits they sent (for tracing).
+func (s *session) runRound(res *Result) (txTags, txBits int) {
+	n := s.nw.N()
+
+	// Reader request broadcast: one 96-bit reader slot. (The paper's energy
+	// model, eq. (11), does not charge tags for receiving it; we follow
+	// suit, but it does occupy air time.)
+	s.clock.LongSlots++
+
+	// Capture this round's transmissions: every scheduled slot becomes a
+	// transmitted slot. Slots silenced since they were scheduled are
+	// dropped without cost.
+	tx := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		if len(s.scheduled[i]) == 0 {
+			continue
+		}
+		keep := s.scheduled[i][:0]
+		for _, slot := range s.scheduled[i] {
+			idx := i*s.f + int(slot)
+			if s.state[idx] == slotScheduled {
+				s.state[idx] = slotTransmitted
+				s.schedCount[i]--
+				keep = append(keep, slot)
+			}
+		}
+		tx[i] = keep
+		s.scheduled[i] = nil
+	}
+
+	// Monitoring charge: a tag stays awake for exactly its unknown slots
+	// (§III-D: it sleeps in transmitted and silenced slots, and is busy
+	// transmitting in scheduled ones).
+	for i := 0; i < n; i++ {
+		s.meter.AddReceived(i, int64(s.unknownCount[i]))
+	}
+
+	// Deliver transmissions. A listener senses a busy slot iff it is
+	// monitoring that slot (half duplex: a tag transmitting in the slot is
+	// not). Collisions are benign: the first delivery marks the slot, later
+	// deliveries find it already marked.
+	s.roundBusy.Reset()
+	for i := 0; i < n; i++ {
+		if len(tx[i]) == 0 {
+			continue
+		}
+		txTags++
+		txBits += len(tx[i])
+		s.meter.AddSent(i, int64(len(tx[i])))
+		neighbors := s.nw.Neighbors(i)
+		for _, slot := range tx[i] {
+			for _, v := range neighbors {
+				idx := int(v)*s.f + int(slot)
+				if s.state[idx] != slotUnknown || s.dropped() {
+					continue
+				}
+				s.state[idx] = slotScheduled
+				s.unknownCount[v]--
+				s.schedCount[v]++
+				s.scheduled[v] = append(s.scheduled[v], slot)
+			}
+			if s.tier1[i] && !s.roundBusy.Get(int(slot)) && !s.dropped() {
+				s.roundBusy.Set(int(slot))
+			}
+		}
+	}
+	s.clock.ShortSlots += int64(s.f)
+
+	// Record what the reader learned this round.
+	newBusy := s.roundBusy.Clone()
+	newBusy.AndNot(s.known)
+	res.NewBusyPerRound = append(res.NewBusyPerRound, newBusy.Count())
+	s.known.Or(s.roundBusy)
+
+	if s.cfg.DisableIndicatorVector {
+		return txTags, txBits
+	}
+
+	// Indicator-vector broadcast: ⌈f/96⌉ reader slots; every tag in the
+	// reader's one-hop coverage receives the full vector (eq. (11)'s
+	// K⌈f/96⌉ term).
+	segments := int64((s.f + energy.IDBits - 1) / energy.IDBits)
+	s.clock.LongSlots += segments
+	for i := 0; i < n; i++ {
+		s.meter.AddReceived(i, segments*energy.IDBits)
+	}
+	// Tags silence the newly announced slots: monitoring stops, and any
+	// still-scheduled relay of them is cancelled (repetitive replies would
+	// only re-produce a busy slot the reader already has).
+	newBusy.ForEach(func(slot int) {
+		for i := 0; i < n; i++ {
+			idx := i*s.f + slot
+			switch s.state[idx] {
+			case slotUnknown:
+				s.state[idx] = slotSilenced
+				s.unknownCount[i]--
+			case slotScheduled:
+				s.state[idx] = slotSilenced
+				s.schedCount[i]--
+			}
+		}
+	})
+	return txTags, txBits
+}
+
+// runCheckingFrame executes §III-E's termination probe and reports whether
+// another round is needed. Tags with pending transmissions respond in C[1];
+// a tag that hears a response in C[j] relays it once in C[j+1]; the reader
+// stops the frame at the first busy slot it senses.
+func (s *session) runCheckingFrame(res *Result) bool {
+	n := s.nw.N()
+	lc := s.cfg.checkingFrameLen(s.nw)
+
+	responded := make([]bool, n)
+	var wave []int32 // tags transmitting in the current checking slot
+	for i := 0; i < n; i++ {
+		if s.schedCount[i] > 0 {
+			responded[i] = true
+			wave = append(wave, int32(i))
+		}
+	}
+
+	heard := false
+	slotsUsed := 0
+	for j := 1; j <= lc; j++ {
+		slotsUsed++
+		// Transmitters pay one bit each. Everyone who has not responded yet
+		// listens and pays one monitored bit; tags that already responded
+		// sleep for the rest of the frame. (Current transmitters all carry
+		// responded=true, so the listener loop skips them — half duplex.)
+		for _, u := range wave {
+			s.meter.AddSent(int(u), 1)
+		}
+		for i := 0; i < n; i++ {
+			if !responded[i] {
+				s.meter.AddReceived(i, 1)
+			}
+		}
+		// Reader senses the slot.
+		for _, u := range wave {
+			if s.tier1[u] && !s.dropped() {
+				heard = true
+			}
+		}
+		if heard {
+			break
+		}
+		// Propagate the wave one hop: listeners adjacent to a transmitter
+		// respond in the next slot.
+		var next []int32
+		for _, u := range wave {
+			for _, v := range s.nw.Neighbors(int(u)) {
+				if responded[v] || s.dropped() {
+					continue
+				}
+				responded[v] = true
+				next = append(next, v)
+			}
+		}
+		wave = next
+		if len(wave) == 0 {
+			// The wave died out (or there never was one): the rest of the
+			// frame is guaranteed silent, but the reader cannot know that,
+			// so it still sits through the remaining slots. Tags keep
+			// monitoring too.
+			for j2 := j + 1; j2 <= lc; j2++ {
+				slotsUsed++
+				for i := 0; i < n; i++ {
+					if !responded[i] {
+						s.meter.AddReceived(i, 1)
+					}
+				}
+			}
+			break
+		}
+	}
+	s.clock.ShortSlots += int64(slotsUsed)
+	res.CheckSlotsPerRound = append(res.CheckSlotsPerRound, slotsUsed)
+	return heard
+}

@@ -1,0 +1,148 @@
+// Package dutycycle models the sleep–wake behavior of state-free tags
+// described in §II of the paper: tags sleep and wake periodically to save
+// energy; after waking they listen for a reader request, which either puts
+// them back to sleep or starts an operation, and which also "loosely
+// re-synchronizes the tag clock". The paper prescribes that "the reader
+// will time its next request a little later than the timeout period set by
+// the tags to compensate for the clock drift and the clock difference at
+// the tags due to broadcast delay", with the exact values "set empirically".
+//
+// This package makes that empirical rule checkable: given a tag sleep
+// period, a listen window, and a per-tag clock-drift bound, it derives the
+// feasible reader schedule and simulates whether every tag actually catches
+// every request. A tag that misses a request sleeps through the whole
+// operation — it is temporarily absent from the system, which biases any
+// estimation or detection built on top.
+package dutycycle
+
+import (
+	"fmt"
+
+	"netags/internal/prng"
+)
+
+// Params describes the sleep–wake contract between reader and tags. Times
+// are in arbitrary consistent units (say, milliseconds).
+type Params struct {
+	// SleepPeriod is the nominal time a tag sleeps between listen windows.
+	SleepPeriod float64
+	// ListenWindow is how long a tag listens after waking before giving up
+	// and going back to sleep (the "timeout period set by the tags").
+	ListenWindow float64
+	// MaxDrift is the clock-drift bound: a tag's real sleep duration is
+	// nominal × (1 + d) with d uniform in [−MaxDrift, +MaxDrift].
+	MaxDrift float64
+	// BroadcastDelay is the worst-case propagation/decoding delay before a
+	// request reaches a tag.
+	BroadcastDelay float64
+}
+
+// Validate reports whether the parameters are meaningful.
+func (p Params) Validate() error {
+	if p.SleepPeriod <= 0 || p.ListenWindow <= 0 {
+		return fmt.Errorf("dutycycle: sleep period and listen window must be positive, got %+v", p)
+	}
+	if p.MaxDrift < 0 || p.MaxDrift >= 1 {
+		return fmt.Errorf("dutycycle: drift bound %v outside [0,1)", p.MaxDrift)
+	}
+	if p.BroadcastDelay < 0 {
+		return fmt.Errorf("dutycycle: negative broadcast delay")
+	}
+	return nil
+}
+
+// MinListenWindow returns the smallest listen window under which some
+// reader schedule can reach every tag despite drift: the request must land
+// after the slowest clock wakes and before the fastest clock times out, so
+// the window must cover 2·SleepPeriod·MaxDrift plus the broadcast delay.
+func MinListenWindow(sleepPeriod, maxDrift, broadcastDelay float64) float64 {
+	return 2*sleepPeriod*maxDrift + broadcastDelay
+}
+
+// Feasible reports whether the parameters admit a schedule that reaches
+// every tag.
+func (p Params) Feasible() bool {
+	return p.ListenWindow >= MinListenWindow(p.SleepPeriod, p.MaxDrift, p.BroadcastDelay)
+}
+
+// RequestInterval returns the paper's rule made concrete: the reader sends
+// its next request SleepPeriod·(1+MaxDrift) + BroadcastDelay after the
+// previous one — "a little later than the timeout period" — so that even
+// the slowest-drifting tag is already awake when the request arrives.
+func (p Params) RequestInterval() float64 {
+	return p.SleepPeriod*(1+p.MaxDrift) + p.BroadcastDelay
+}
+
+// Outcome summarizes a simulated sequence of reader requests.
+type Outcome struct {
+	// Requests is the number of reader requests simulated.
+	Requests int
+	// AwakePerRequest[k] is the number of tags that caught request k.
+	AwakePerRequest []int
+	// MissedPerRequest[k] lists the tags that slept through request k —
+	// those tags are temporarily outside the system for that operation.
+	MissedPerRequest [][]int
+	// MissedTotal counts tag-request pairs where the tag slept through.
+	MissedTotal int
+	// AllCaught reports whether every tag caught every request.
+	AllCaught bool
+}
+
+// Simulate runs nTags tags through nRequests reader requests spaced
+// interval apart. Each tag draws a fixed drift rate from the bound and
+// re-synchronizes whenever it catches a request (§II: the broadcast serves
+// to loosely re-synchronize tag clocks); a missed request leaves the tag's
+// schedule free-running from its last synchronization.
+func Simulate(p Params, nTags, nRequests int, interval float64, seed uint64) (*Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if nTags <= 0 || nRequests <= 0 {
+		return nil, fmt.Errorf("dutycycle: need positive tags and requests, got %d/%d", nTags, nRequests)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("dutycycle: interval %v must be positive", interval)
+	}
+	src := prng.New(seed)
+	drift := make([]float64, nTags)
+	for i := range drift {
+		drift[i] = (2*src.Float64() - 1) * p.MaxDrift
+	}
+	// wakeAt[i] is when tag i's next listen window opens. All tags start
+	// synchronized at time 0 (the operation that deployed them).
+	wakeAt := make([]float64, nTags)
+	for i := range wakeAt {
+		wakeAt[i] = p.SleepPeriod * (1 + drift[i])
+	}
+
+	out := &Outcome{Requests: nRequests, AllCaught: true}
+	for k := 1; k <= nRequests; k++ {
+		reqAt := float64(k) * interval
+		heardAt := reqAt + p.BroadcastDelay // worst-case arrival at the tag
+		awake := 0
+		var missed []int
+		for i := range wakeAt {
+			// Advance the tag's schedule past any windows it already
+			// slept/listened through without hearing anything.
+			period := p.SleepPeriod * (1 + drift[i])
+			for wakeAt[i]+p.ListenWindow < heardAt {
+				wakeAt[i] += period
+			}
+			if wakeAt[i] <= heardAt {
+				// Awake and listening when the request lands: caught. The
+				// broadcast re-synchronizes the tag; its next window is one
+				// (drifted) period after the request.
+				awake++
+				wakeAt[i] = heardAt + period
+			} else {
+				// Still asleep: missed this operation entirely.
+				missed = append(missed, i)
+				out.MissedTotal++
+				out.AllCaught = false
+			}
+		}
+		out.AwakePerRequest = append(out.AwakePerRequest, awake)
+		out.MissedPerRequest = append(out.MissedPerRequest, missed)
+	}
+	return out, nil
+}

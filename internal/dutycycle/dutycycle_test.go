@@ -1,0 +1,147 @@
+package dutycycle
+
+import (
+	"math"
+	"testing"
+)
+
+func params() Params {
+	return Params{
+		SleepPeriod:    10000, // 10 s in ms
+		ListenWindow:   150,
+		MaxDrift:       0.005, // 50 ppm-class clock over 10 s → generous 0.5%
+		BroadcastDelay: 5,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := params().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{SleepPeriod: 0, ListenWindow: 1},
+		{SleepPeriod: 1, ListenWindow: 0},
+		{SleepPeriod: 1, ListenWindow: 1, MaxDrift: -0.1},
+		{SleepPeriod: 1, ListenWindow: 1, MaxDrift: 1},
+		{SleepPeriod: 1, ListenWindow: 1, BroadcastDelay: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestMinListenWindow(t *testing.T) {
+	if got := MinListenWindow(10000, 0.005, 5); math.Abs(got-105) > 1e-9 {
+		t.Fatalf("MinListenWindow = %v, want 105", got)
+	}
+	p := params()
+	if !p.Feasible() {
+		t.Fatal("default params should be feasible (150 >= 105)")
+	}
+	p.ListenWindow = 50
+	if p.Feasible() {
+		t.Fatal("undersized window reported feasible")
+	}
+}
+
+func TestPaperRuleCatchesEveryTag(t *testing.T) {
+	// The §II rule — next request a little later than the tag timeout —
+	// must reach every tag on every request, indefinitely, because each
+	// caught request re-synchronizes the clocks.
+	p := params()
+	out, err := Simulate(p, 500, 200, p.RequestInterval(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllCaught {
+		t.Fatalf("paper's schedule missed %d tag-requests", out.MissedTotal)
+	}
+	for k, awake := range out.AwakePerRequest {
+		if awake != 500 {
+			t.Fatalf("request %d caught %d/500 tags", k+1, awake)
+		}
+	}
+}
+
+func TestZeroDriftTightSchedule(t *testing.T) {
+	p := params()
+	p.MaxDrift = 0
+	p.BroadcastDelay = 0
+	// With perfect clocks, requests exactly one period apart always land at
+	// the window opening.
+	out, err := Simulate(p, 100, 50, p.SleepPeriod, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllCaught {
+		t.Fatalf("zero drift missed %d", out.MissedTotal)
+	}
+}
+
+func TestUndersizedWindowMissesTags(t *testing.T) {
+	// Shrink the listen window below the feasibility bound and stretch the
+	// drift: free-running clocks must start missing requests.
+	p := params()
+	p.MaxDrift = 0.05
+	p.ListenWindow = 20 // far below MinListenWindow = 2·10000·0.05+5 ≈ 1005
+	out, err := Simulate(p, 300, 50, p.SleepPeriod*(1+p.MaxDrift), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AllCaught {
+		t.Fatal("infeasible window missed nothing (implausible)")
+	}
+	if out.MissedTotal == 0 {
+		t.Fatal("no misses recorded")
+	}
+}
+
+func TestResyncPreventsDriftAccumulation(t *testing.T) {
+	// With resynchronization, a feasible schedule works for arbitrarily
+	// many requests; the same drift without resync (interval ≠ rule,
+	// window barely feasible) accumulates. We check the first part here:
+	// 1000 requests, all caught.
+	p := params()
+	out, err := Simulate(p, 50, 1000, p.RequestInterval(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllCaught {
+		t.Fatalf("long horizon missed %d despite resync", out.MissedTotal)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	p := params()
+	if _, err := Simulate(p, 0, 10, 1, 1); err == nil {
+		t.Error("zero tags accepted")
+	}
+	if _, err := Simulate(p, 10, 0, 1, 1); err == nil {
+		t.Error("zero requests accepted")
+	}
+	if _, err := Simulate(p, 10, 10, 0, 1); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := Simulate(Params{}, 10, 10, 1, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := params()
+	p.MaxDrift = 0.05
+	p.ListenWindow = 30
+	a, err := Simulate(p, 100, 20, p.SleepPeriod, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, 100, 20, p.SleepPeriod, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MissedTotal != b.MissedTotal {
+		t.Fatal("simulation not deterministic")
+	}
+}

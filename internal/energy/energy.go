@@ -1,0 +1,138 @@
+// Package energy implements the cost accounting used throughout the paper's
+// evaluation (§VI-A): execution time measured in slot counts, and per-tag
+// energy measured indirectly as bits sent and bits received.
+//
+// The bits-received metric includes idle monitoring: a tag that stays awake
+// to sense a slot pays for receiving that slot's one bit whether or not
+// anything was transmitted, which is exactly why CCM's sleep rules (slots
+// already relayed or silenced by the indicator vector) save energy.
+package energy
+
+// IDBits is the length of a tag ID in bits, per the EPC Gen2 convention the
+// paper adopts (96-bit IDs; the reader packs indicator-vector segments into
+// 96-bit slots too).
+const IDBits = 96
+
+// Meter records per-tag sent and received bit counts for one protocol run.
+type Meter struct {
+	sent []int64
+	recv []int64
+}
+
+// NewMeter returns a meter for n tags.
+func NewMeter(n int) *Meter {
+	return &Meter{sent: make([]int64, n), recv: make([]int64, n)}
+}
+
+// N returns the number of tags tracked.
+func (m *Meter) N() int { return len(m.sent) }
+
+// AddSent charges bits of transmission energy to tag i.
+func (m *Meter) AddSent(i int, bits int64) { m.sent[i] += bits }
+
+// AddReceived charges bits of reception/monitoring energy to tag i.
+func (m *Meter) AddReceived(i int, bits int64) { m.recv[i] += bits }
+
+// Sent returns the bits sent by tag i.
+func (m *Meter) Sent(i int) int64 { return m.sent[i] }
+
+// Received returns the bits received by tag i.
+func (m *Meter) Received(i int) int64 { return m.recv[i] }
+
+// Merge adds the counts of other into m (used to combine per-reader sessions
+// in the multi-reader extension). The meters must have equal size.
+func (m *Meter) Merge(other *Meter) {
+	if len(m.sent) != len(other.sent) {
+		panic("energy: meter size mismatch in Merge")
+	}
+	for i := range m.sent {
+		m.sent[i] += other.sent[i]
+		m.recv[i] += other.recv[i]
+	}
+}
+
+// Summary aggregates a meter over a subset of tags.
+type Summary struct {
+	// Count is the number of tags included.
+	Count int
+	// MaxSent / MaxReceived are the worst-case per-tag costs (Tables I, II).
+	MaxSent     int64
+	MaxReceived int64
+	// AvgSent / AvgReceived are the mean per-tag costs (Tables III, IV).
+	AvgSent     float64
+	AvgReceived float64
+	// TotalSent / TotalReceived are network-wide sums.
+	TotalSent     int64
+	TotalReceived int64
+}
+
+// Summarize aggregates over the tags for which include returns true. A nil
+// include means all tags. The paper reports statistics over tags that are in
+// the system, so callers typically pass a reachability filter.
+func (m *Meter) Summarize(include func(i int) bool) Summary {
+	var s Summary
+	for i := range m.sent {
+		if include != nil && !include(i) {
+			continue
+		}
+		s.Count++
+		s.TotalSent += m.sent[i]
+		s.TotalReceived += m.recv[i]
+		if m.sent[i] > s.MaxSent {
+			s.MaxSent = m.sent[i]
+		}
+		if m.recv[i] > s.MaxReceived {
+			s.MaxReceived = m.recv[i]
+		}
+	}
+	if s.Count > 0 {
+		s.AvgSent = float64(s.TotalSent) / float64(s.Count)
+		s.AvgReceived = float64(s.TotalReceived) / float64(s.Count)
+	}
+	return s
+}
+
+// SummarizeByTier aggregates per tier: element k of the result summarizes
+// the tags with tier[i] == k (element 0 collects the unreachable ones).
+// This is the view behind the paper's load-balance observation (§VI-B2:
+// CCM's max per-tag cost is close to its average, across all tiers).
+func (m *Meter) SummarizeByTier(tier []int16, maxTier int) []Summary {
+	if len(tier) != len(m.sent) {
+		panic("energy: tier slice size mismatch")
+	}
+	out := make([]Summary, maxTier+1)
+	for k := 0; k <= maxTier; k++ {
+		k := int16(k)
+		out[k] = m.Summarize(func(i int) bool { return tier[i] == k })
+	}
+	return out
+}
+
+// Clock counts the time slots a protocol consumes, split by slot kind: short
+// slots in which a tag transmits one bit (t_s) and long slots in which the
+// reader transmits a 96-bit message (t_id). Fig. 4 reports the plain total;
+// WeightedTime lets callers apply physical slot lengths.
+type Clock struct {
+	// ShortSlots counts 1-bit slots (frame slots, checking-frame slots).
+	ShortSlots int64
+	// LongSlots counts 96-bit reader-broadcast slots (requests,
+	// indicator-vector segments, polls in SICP).
+	LongSlots int64
+}
+
+// Total returns the total number of slots of either kind — the unit of
+// Fig. 4.
+func (c Clock) Total() int64 { return c.ShortSlots + c.LongSlots }
+
+// WeightedTime returns the execution time when a tag slot lasts ts units and
+// a reader slot lasts tid units (eq. (3) leaves these as parameters because
+// the Gen2 standard does not pin them).
+func (c Clock) WeightedTime(ts, tid float64) float64 {
+	return float64(c.ShortSlots)*ts + float64(c.LongSlots)*tid
+}
+
+// Add accumulates another clock (e.g. per-round or per-reader costs).
+func (c *Clock) Add(other Clock) {
+	c.ShortSlots += other.ShortSlots
+	c.LongSlots += other.LongSlots
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"netags/internal/geom"
+	"netags/internal/gmle"
+	"netags/internal/prng"
+	"netags/internal/sicp"
+	"netags/internal/stats"
+	"netags/internal/topology"
+	"netags/internal/trp"
+)
+
+// DensityConfig parameterizes a population sweep — an extension beyond the
+// paper, which fixes n = 10,000. CCM's air time is governed by the frame
+// size and tier count, not the population, while SICP's grows linearly with
+// the IDs it must haul; sweeping n makes that scaling visible.
+type DensityConfig struct {
+	// NValues are the populations to sweep.
+	NValues []int
+	// Radius and R mirror Config (paper geometry by default).
+	Radius float64
+	R      float64
+	Trials int
+	Seed   uint64
+}
+
+// DensityRow reports one population.
+type DensityRow struct {
+	N int
+	// GMLESlots / TRPSlots / SICPSlots are the execution times with frames
+	// sized for this population.
+	GMLESlots stats.Sample
+	TRPSlots  stats.Sample
+	SICPSlots stats.Sample
+	// Tiers tracks the (density-dependent) tier count.
+	Tiers stats.Sample
+}
+
+// DensityResults is the sweep outcome.
+type DensityResults struct {
+	Config DensityConfig
+	Rows   []DensityRow
+}
+
+// RunDensitySweep measures how each protocol's air time scales with the
+// population. Frame sizes are re-derived per n, exactly as the paper sizes
+// its frames for n = 10,000.
+func RunDensitySweep(cfg DensityConfig) (*DensityResults, error) {
+	if len(cfg.NValues) == 0 || cfg.Radius <= 0 || cfg.R <= 0 || cfg.Trials <= 0 {
+		return nil, fmt.Errorf("experiment: incomplete density config %+v", cfg)
+	}
+	res := &DensityResults{Config: cfg}
+	seeds := prng.New(cfg.Seed)
+	for _, n := range cfg.NValues {
+		if n <= 0 {
+			return nil, fmt.Errorf("experiment: population %d must be positive", n)
+		}
+		gmleF, err := gmle.FrameSizeFor(0.05, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		tol := n / 200
+		if tol == 0 {
+			tol = 1
+		}
+		trpF, err := trp.FrameSizeFor(n, tol, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		row := DensityRow{N: n}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			d := geom.NewUniformDisk(n, cfg.Radius, seeds.Uint64())
+			nw, err := topology.Build(d, 0, topology.PaperRanges(cfg.R))
+			if err != nil {
+				return nil, err
+			}
+			row.Tiers.Add(float64(nw.K))
+			seed := seeds.Uint64()
+			gm, _, err := runProtocolSized(GMLECCM, nw, gmleF, gmle.SamplingFor(gmleF, float64(n)), seed)
+			if err != nil {
+				return nil, err
+			}
+			tr, _, err := runProtocolSized(TRPCCM, nw, trpF, 1, seed)
+			if err != nil {
+				return nil, err
+			}
+			si, _, err := runProtocolSized(SICP, nw, 0, 0, seed)
+			if err != nil {
+				return nil, err
+			}
+			row.GMLESlots.Add(float64(gm))
+			row.TRPSlots.Add(float64(tr))
+			row.SICPSlots.Add(float64(si))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runProtocolSized runs one protocol with explicit frame parameters and
+// returns its slot count.
+func runProtocolSized(p Protocol, nw *topology.Network, frame int, sampling float64, seed uint64) (int64, int64, error) {
+	switch p {
+	case GMLECCM, TRPCCM:
+		r, err := runCCM(nw, frame, sampling, seed, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.clock.Total(), 0, nil
+	case SICP:
+		r, err := sicp.Collect(nw, sicp.Options{Seed: seed})
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Clock.Total(), 0, nil
+	}
+	return 0, 0, fmt.Errorf("experiment: unsupported protocol %q in density sweep", p)
+}
+
+// Render prints the sweep as a table.
+func (r *DensityResults) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Population sweep: execution time in slots (r=%g, %d trials, frames re-sized per n)\n",
+		r.Config.R, r.Config.Trials)
+	fmt.Fprintf(&b, "%8s  %6s  %12s  %12s  %12s\n", "n", "tiers", "SICP", "GMLE-CCM", "TRP-CCM")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d  %6.1f  %12.0f  %12.0f  %12.0f\n",
+			row.N, row.Tiers.Mean(), row.SICPSlots.Mean(), row.GMLESlots.Mean(), row.TRPSlots.Mean())
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"netags/internal/core"
+	"netags/internal/geom"
+	"netags/internal/prng"
+	"netags/internal/stats"
+	"netags/internal/topology"
+	"netags/internal/trp"
+)
+
+// LossConfig parameterizes the unreliable-channel sweep — an extension
+// beyond the paper, which assumes every busy slot is sensed (§V's detection
+// guarantee silently depends on that). Loss turns busy slots idle, which
+// CCM cannot distinguish from absence: delivery degrades and TRP starts
+// accusing present tags.
+type LossConfig struct {
+	// N, Radius, R and Trials mirror Config.
+	N      int
+	Radius float64
+	R      float64
+	Trials int
+	Seed   uint64
+	// LossValues are the per-reception loss probabilities to sweep.
+	LossValues []float64
+	// FrameSize is the TRP frame (0 = derive for N with the paper's
+	// tolerance and delta).
+	FrameSize int
+}
+
+// LossRow reports one loss probability.
+type LossRow struct {
+	Loss float64
+	// Delivery is the fraction of the true busy slots that reached the
+	// reader.
+	Delivery stats.Sample
+	// FalsePositives is the number of present-and-reachable tags accused
+	// per execution (0 under a reliable channel).
+	FalsePositives stats.Sample
+	// ExtraRounds is the session length in rounds (loss can both shorten —
+	// lost checking-frame waves — and lengthen sessions).
+	Rounds stats.Sample
+}
+
+// LossResults is the sweep outcome.
+type LossResults struct {
+	Config LossConfig
+	Rows   []LossRow
+}
+
+// RunLossSweep measures CCM delivery and TRP false accusations as the
+// channel degrades, with nothing actually missing.
+func RunLossSweep(cfg LossConfig) (*LossResults, error) {
+	if cfg.N <= 0 || cfg.Radius <= 0 || cfg.Trials <= 0 || cfg.R <= 0 || len(cfg.LossValues) == 0 {
+		return nil, fmt.Errorf("experiment: incomplete loss config %+v", cfg)
+	}
+	res := &LossResults{Config: cfg}
+	seeds := prng.New(cfg.Seed)
+	for _, loss := range cfg.LossValues {
+		if loss < 0 || loss >= 1 {
+			return nil, fmt.Errorf("experiment: loss probability %v outside [0,1)", loss)
+		}
+		row := LossRow{Loss: loss}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			d := geom.NewUniformDisk(cfg.N, cfg.Radius, seeds.Uint64())
+			nw, err := topology.Build(d, 0, topology.PaperRanges(cfg.R))
+			if err != nil {
+				return nil, err
+			}
+			inventory := make([]uint64, 0, nw.Reachable)
+			for i := 0; i < nw.N(); i++ {
+				if nw.Tier[i] > 0 {
+					inventory = append(inventory, uint64(i)+1)
+				}
+			}
+			f := cfg.FrameSize
+			if f == 0 {
+				tol := len(inventory) / 200
+				if tol == 0 {
+					tol = 1
+				}
+				f, err = trp.FrameSizeFor(len(inventory), tol, 0.95)
+				if err != nil {
+					return nil, err
+				}
+			}
+			seed := seeds.Uint64()
+			cc := core.Config{
+				FrameSize: f,
+				Seed:      seed,
+				Sampling:  1,
+				LossProb:  loss,
+				LossSeed:  seeds.Uint64(),
+			}
+			got, err := core.RunSession(nw, cc)
+			if err != nil {
+				return nil, err
+			}
+			truthCfg := cc
+			truthCfg.LossProb = 0
+			truth, err := core.DirectBitmap(nw, truthCfg)
+			if err != nil {
+				return nil, err
+			}
+			if truth.Count() > 0 {
+				row.Delivery.Add(float64(got.Bitmap.Count()) / float64(truth.Count()))
+			}
+			plan, err := trp.NewPlan(inventory, f, seed)
+			if err != nil {
+				return nil, err
+			}
+			det, err := plan.Detect(got.Bitmap)
+			if err != nil {
+				return nil, err
+			}
+			row.FalsePositives.Add(float64(len(det.Suspects)))
+			row.Rounds.Add(float64(got.Rounds))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the sweep as a table.
+func (r *LossResults) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Unreliable channel: CCM delivery and TRP false accusations (n=%d, r=%g, %d trials, nothing missing)\n",
+		r.Config.N, r.Config.R, r.Config.Trials)
+	fmt.Fprintf(&b, "%8s  %12s  %18s  %8s\n", "loss", "delivery", "false accusations", "rounds")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8.2f  %11.1f%%  %18.1f  %8.1f\n",
+			row.Loss, 100*row.Delivery.Mean(), row.FalsePositives.Mean(), row.Rounds.Mean())
+	}
+	return b.String()
+}

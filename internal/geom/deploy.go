@@ -1,0 +1,130 @@
+package geom
+
+import (
+	"math"
+
+	"netags/internal/prng"
+)
+
+// Deployment is a set of tag positions around a set of reader positions.
+// It is the input every protocol simulation starts from: the paper's §VI-A
+// system setting is one reader at the center of a 30 m disk with n = 10,000
+// uniformly placed tags.
+type Deployment struct {
+	// Tags holds one position per tag; the index is the tag's handle
+	// throughout the repository, and tag IDs are derived from it.
+	Tags []Point
+	// Readers holds reader positions. Most experiments use exactly one,
+	// at the origin.
+	Readers []Point
+	// Radius is the radius of the deployment disk, in meters.
+	Radius float64
+}
+
+// NewUniformDisk places n tags uniformly in a disk of the given radius with a
+// single reader at the center. The deployment is fully determined by seed.
+func NewUniformDisk(n int, radius float64, seed uint64) *Deployment {
+	src := prng.New(seed)
+	d := &Deployment{
+		Tags:    make([]Point, n),
+		Readers: []Point{{}},
+		Radius:  radius,
+	}
+	for i := range d.Tags {
+		d.Tags[i] = SampleDisk(src, radius)
+	}
+	return d
+}
+
+// NewClusteredDisk places n tags in clusters inside a disk of the given
+// radius, with a single reader at the center. Cluster centers are uniform in
+// the disk; tags scatter around a uniformly chosen center with a Gaussian
+// spread, re-sampled until they land inside the disk. The paper's evaluation
+// assumes uniform density (its §IV-C analysis depends on it); clustered
+// deployments — pallets, shelving bays — are how real warehouses look, and
+// the simulation protocols run on them unchanged.
+func NewClusteredDisk(n int, radius float64, clusters int, spread float64, seed uint64) *Deployment {
+	if clusters <= 0 {
+		clusters = 1
+	}
+	if spread <= 0 {
+		spread = radius / 6
+	}
+	src := prng.New(seed)
+	centers := make([]Point, clusters)
+	for i := range centers {
+		centers[i] = SampleDisk(src, radius)
+	}
+	d := &Deployment{
+		Tags:    make([]Point, n),
+		Readers: []Point{{}},
+		Radius:  radius,
+	}
+	for i := range d.Tags {
+		c := centers[src.Intn(clusters)]
+		for {
+			p := Point{
+				X: c.X + gaussian(src)*spread,
+				Y: c.Y + gaussian(src)*spread,
+			}
+			if p.Norm() <= radius {
+				d.Tags[i] = p
+				break
+			}
+		}
+	}
+	return d
+}
+
+// gaussian returns a standard normal draw via Box–Muller (two uniforms per
+// call keeps the stream layout simple and reproducible).
+func gaussian(src *prng.Source) float64 {
+	u1 := src.Float64()
+	for u1 == 0 {
+		u1 = src.Float64()
+	}
+	u2 := src.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// NewUniformDiskMultiReader is NewUniformDisk with explicit reader positions
+// (for the §III-G multi-reader extension).
+func NewUniformDiskMultiReader(n int, radius float64, readers []Point, seed uint64) *Deployment {
+	d := NewUniformDisk(n, radius, seed)
+	d.Readers = make([]Point, len(readers))
+	copy(d.Readers, readers)
+	return d
+}
+
+// N returns the number of tags.
+func (d *Deployment) N() int { return len(d.Tags) }
+
+// Density returns tags per square meter over the deployment disk (the ρ of
+// §IV-C).
+func (d *Deployment) Density() float64 {
+	return float64(len(d.Tags)) / DiskArea(d.Radius)
+}
+
+// Remove returns a copy of the deployment with the tags at the given indices
+// removed. Missing-tag experiments use this to simulate theft or loss; the
+// remaining tags keep their original indices' positions but are re-packed.
+// The second return value maps new index -> original index.
+func (d *Deployment) Remove(indices []int) (*Deployment, []int) {
+	gone := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		gone[i] = true
+	}
+	nd := &Deployment{
+		Tags:    make([]Point, 0, len(d.Tags)-len(gone)),
+		Readers: append([]Point(nil), d.Readers...),
+		Radius:  d.Radius,
+	}
+	orig := make([]int, 0, cap(nd.Tags))
+	for i, p := range d.Tags {
+		if !gone[i] {
+			nd.Tags = append(nd.Tags, p)
+			orig = append(orig, i)
+		}
+	}
+	return nd, orig
+}

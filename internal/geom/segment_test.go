@@ -1,0 +1,76 @@
+package geom
+
+import (
+	"testing"
+
+	"netags/internal/prng"
+)
+
+func TestSegmentIntersectsBasic(t *testing.T) {
+	cross1 := Segment{Point{-1, 0}, Point{1, 0}}
+	cross2 := Segment{Point{0, -1}, Point{0, 1}}
+	if !cross1.Intersects(cross2) {
+		t.Fatal("crossing segments not detected")
+	}
+	parallel := Segment{Point{-1, 1}, Point{1, 1}}
+	if cross1.Intersects(parallel) {
+		t.Fatal("parallel segments reported intersecting")
+	}
+	disjoint := Segment{Point{5, 5}, Point{6, 6}}
+	if cross1.Intersects(disjoint) {
+		t.Fatal("disjoint segments reported intersecting")
+	}
+}
+
+func TestSegmentTouchingEndpoint(t *testing.T) {
+	a := Segment{Point{0, 0}, Point{1, 0}}
+	b := Segment{Point{1, 0}, Point{2, 5}}
+	if !a.Intersects(b) {
+		t.Fatal("shared endpoint not detected")
+	}
+	c := Segment{Point{0.5, 0}, Point{0.5, 3}} // T-junction
+	if !a.Intersects(c) {
+		t.Fatal("T-junction not detected")
+	}
+}
+
+func TestSegmentCollinearOverlap(t *testing.T) {
+	a := Segment{Point{0, 0}, Point{2, 0}}
+	b := Segment{Point{1, 0}, Point{3, 0}}
+	if !a.Intersects(b) {
+		t.Fatal("collinear overlap not detected")
+	}
+	c := Segment{Point{3, 0}, Point{4, 0}}
+	if a.Intersects(c) {
+		t.Fatal("collinear disjoint segments reported intersecting")
+	}
+}
+
+func TestSegmentSymmetric(t *testing.T) {
+	src := prng.New(21)
+	randSeg := func() Segment {
+		return Segment{
+			Point{src.Float64()*20 - 10, src.Float64()*20 - 10},
+			Point{src.Float64()*20 - 10, src.Float64()*20 - 10},
+		}
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randSeg(), randSeg()
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("asymmetric intersection: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestBlocked(t *testing.T) {
+	wall := []Segment{{Point{0, -5}, Point{0, 5}}}
+	if !Blocked(wall, Point{-3, 0}, Point{3, 0}) {
+		t.Fatal("path through wall not blocked")
+	}
+	if Blocked(wall, Point{-3, 10}, Point{3, 10}) {
+		t.Fatal("path above wall blocked")
+	}
+	if Blocked(nil, Point{-3, 0}, Point{3, 0}) {
+		t.Fatal("no obstacles but blocked")
+	}
+}

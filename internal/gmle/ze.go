@@ -1,0 +1,29 @@
+package gmle
+
+import (
+	"fmt"
+	"math"
+)
+
+// ZeroEstimate is the classic single-frame zero estimator of Kodialam &
+// Nandagopal [5], which GMLE generalizes: from one (f, p) frame with the
+// given count of idle slots, n̂ = ln(z/f) / ln(1 − p/f).
+//
+// It exists as a named function both as the historical baseline for the
+// estimator-comparison benchmark and as a cheap closed form when only one
+// frame is available. ErrSaturated is returned for a fully busy frame.
+func ZeroEstimate(f int, p float64, zeros int) (float64, error) {
+	if f <= 0 {
+		return 0, fmt.Errorf("gmle: frame size %d must be positive", f)
+	}
+	if p <= 0 || p > 1 {
+		return 0, fmt.Errorf("gmle: participation probability %v outside (0,1]", p)
+	}
+	if zeros < 0 || zeros > f {
+		return 0, fmt.Errorf("gmle: %d zeros in a %d-slot frame", zeros, f)
+	}
+	if zeros == 0 {
+		return 0, ErrSaturated
+	}
+	return math.Log(float64(zeros)/float64(f)) / math.Log1p(-p/float64(f)), nil
+}

@@ -1,0 +1,185 @@
+// Package search implements tag search over CCM — the third system-level
+// function the paper's information model calls out (§III-B: "If each tag
+// chooses multiple random slots in the time frame, we can perform tag search
+// based on the bitmap", citing Zheng & Li [14] and Chen et al. [15]).
+//
+// The reader holds a wanted list of IDs and asks which of them are present
+// in the field. Each present tag sets k hash-derived slots in the frame
+// (a Bloom-filter encoding); the reader checks each wanted ID's k slots in
+// the collected bitmap. An idle slot proves absence — a present tag always
+// delivers its slots thanks to Theorem 1 — while an ID whose k slots are
+// all busy is reported present, with a quantifiable false-positive rate
+// from other tags covering its slots.
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"netags/internal/bitmap"
+	"netags/internal/core"
+	"netags/internal/energy"
+	"netags/internal/prng"
+	"netags/internal/topology"
+)
+
+// DefaultHashes is the Bloom encoding width used when Options.Hashes is 0.
+const DefaultHashes = 3
+
+// slotOf returns wanted/present tag id's j-th slot for the request seed.
+func slotOf(id, seed uint64, j, frameSize int) int {
+	return prng.SlotOf(id, seed+uint64(j)*0x9e3779b97f4a7c15, frameSize)
+}
+
+// Picker returns the multi-slot CCM picker for this application.
+func Picker(seed uint64, hashes, frameSize int) core.SlotPicker {
+	return func(_ int, id uint64) []int {
+		slots := make([]int, hashes)
+		for j := range slots {
+			slots[j] = slotOf(id, seed, j, frameSize)
+		}
+		return slots
+	}
+}
+
+// FalsePositiveRate estimates the probability that an absent wanted ID is
+// reported present, with nPresent tags each setting hashes slots in an
+// f-slot frame: (busy fraction)^hashes.
+func FalsePositiveRate(nPresent, f, hashes int) float64 {
+	if f <= 0 || hashes <= 0 {
+		return 1
+	}
+	busy := 1 - math.Pow(1-1/float64(f), float64(nPresent*hashes))
+	return math.Pow(busy, float64(hashes))
+}
+
+// FrameSizeFor returns a frame size that keeps the false-positive rate at or
+// below target for a population of n tags with the given hash count.
+func FrameSizeFor(n, hashes int, target float64) (int, error) {
+	if n <= 0 || hashes <= 0 {
+		return 0, fmt.Errorf("search: n %d and hashes %d must be positive", n, hashes)
+	}
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("search: target false-positive rate %v outside (0,1)", target)
+	}
+	// Invert (1 − e^{−nk/f})^k ≤ target for f.
+	busy := math.Pow(target, 1/float64(hashes))
+	if busy >= 1 {
+		return 0, fmt.Errorf("search: unreachable target %v", target)
+	}
+	f := float64(n*hashes) / -math.Log1p(-busy)
+	fi := int(math.Ceil(f))
+	for FalsePositiveRate(n, fi, hashes) > target {
+		fi += fi / 16
+	}
+	return fi, nil
+}
+
+// Options configures one search execution.
+type Options struct {
+	// FrameSize is f; 0 derives it from the present population estimate and
+	// TargetFP via FrameSizeFor.
+	FrameSize int
+	// Hashes is the Bloom width k (default DefaultHashes).
+	Hashes int
+	// Seed identifies the request.
+	Seed uint64
+	// TargetFP is the acceptable false-positive rate when FrameSize is
+	// derived (default 0.05).
+	TargetFP float64
+	// LossProb forwards the unreliable-channel extension.
+	LossProb float64
+	// LossSeed seeds the loss process.
+	LossSeed uint64
+	// CheckingFrameLen overrides the session's L_c bound (see core.Config);
+	// deployments with detour paths deeper than the default estimate need
+	// it to avoid truncation.
+	CheckingFrameLen int
+}
+
+// Outcome reports one search execution.
+type Outcome struct {
+	// Found lists wanted IDs whose slots were all busy: present, up to the
+	// false-positive rate.
+	Found []uint64
+	// Absent lists wanted IDs with at least one idle slot: provably not in
+	// the system (under a reliable channel).
+	Absent []uint64
+	// ExpectedFalsePositiveRate is the analytical rate for this execution.
+	ExpectedFalsePositiveRate float64
+	// Rounds, Clock, Meter carry the CCM session costs.
+	Rounds int
+	Clock  energy.Clock
+	Meter  *energy.Meter
+}
+
+// Run executes one tag search: every physically present tag Bloom-encodes
+// itself into the frame via CCM, and the wanted list is tested against the
+// collected bitmap. presentIDs[i] is the ID of deployment tag i.
+func Run(nw *topology.Network, presentIDs, wanted []uint64, opts Options) (*Outcome, error) {
+	if len(presentIDs) != nw.N() {
+		return nil, fmt.Errorf("search: %d present IDs for %d tags", len(presentIDs), nw.N())
+	}
+	if opts.Hashes == 0 {
+		opts.Hashes = DefaultHashes
+	}
+	if opts.Hashes < 0 {
+		return nil, fmt.Errorf("search: negative hash count %d", opts.Hashes)
+	}
+	if opts.TargetFP == 0 {
+		opts.TargetFP = 0.05
+	}
+	f := opts.FrameSize
+	if f == 0 {
+		var err error
+		f, err = FrameSizeFor(nw.Reachable, opts.Hashes, opts.TargetFP)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := core.RunSession(nw, core.Config{
+		FrameSize:        f,
+		Seed:             opts.Seed,
+		Picker:           Picker(opts.Seed, opts.Hashes, f),
+		IDs:              presentIDs,
+		LossProb:         opts.LossProb,
+		LossSeed:         opts.LossSeed,
+		CheckingFrameLen: opts.CheckingFrameLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		ExpectedFalsePositiveRate: FalsePositiveRate(nw.Reachable, f, opts.Hashes),
+		Rounds:                    res.Rounds,
+		Clock:                     res.Clock,
+		Meter:                     res.Meter,
+	}
+	out.Found, out.Absent = Evaluate(res.Bitmap, wanted, opts.Seed, opts.Hashes)
+	return out, nil
+}
+
+// Evaluate tests each wanted ID against a collected bitmap: all k slots busy
+// means found, any idle slot means provably absent. It is exposed separately
+// so that multi-reader callers can evaluate an OR-combined bitmap.
+func Evaluate(bm *bitmap.Bitmap, wanted []uint64, seed uint64, hashes int) (found, absent []uint64) {
+	if hashes <= 0 {
+		hashes = DefaultHashes
+	}
+	f := bm.Len()
+	for _, id := range wanted {
+		present := true
+		for j := 0; j < hashes; j++ {
+			if !bm.Get(slotOf(id, seed, j, f)) {
+				present = false
+				break
+			}
+		}
+		if present {
+			found = append(found, id)
+		} else {
+			absent = append(absent, id)
+		}
+	}
+	return found, absent
+}

@@ -1,0 +1,161 @@
+package sicp
+
+import (
+	"fmt"
+
+	"netags/internal/energy"
+	"netags/internal/prng"
+	"netags/internal/topology"
+)
+
+// CollectCICP runs the Contention-based ID Collection Protocol, SICP's
+// sibling from [16]. The tree phase is identical; the collection phase
+// replaces parent tokens with sibling contention: all children of a parent
+// that still hold data contend for the channel by drawing backoff slots in
+// the contention window, and when two or more draw the same minimum slot
+// their ID messages collide at the parent and must be retransmitted. The
+// paper notes SICP outperforms CICP; the extra collided transmissions are
+// exactly why, and the benchmark suite reproduces that gap.
+func CollectCICP(nw *topology.Network, opts Options) (*Result, error) {
+	opts.setDefaults()
+	if opts.IDs != nil && len(opts.IDs) != nw.N() {
+		return nil, fmt.Errorf("sicp: %d IDs for %d tags", len(opts.IDs), nw.N())
+	}
+	if opts.ContentionWindow < 2 {
+		return nil, fmt.Errorf("sicp: CICP needs a contention window >= 2, got %d", opts.ContentionWindow)
+	}
+	c := &collector{
+		nw:    nw,
+		opts:  opts,
+		src:   prng.New(opts.Seed),
+		meter: energy.NewMeter(nw.N()),
+	}
+	c.buildTree()
+	c.collectContention()
+	return &Result{
+		Collected: c.collected,
+		Clock:     c.clock,
+		Meter:     c.meter,
+		TreeDepth: c.depth,
+	}, nil
+}
+
+// collectContention drains the tree bottom-up. For each parent (processed in
+// post-order so children always finish before their parent contends at the
+// next level), the children race: every contention round each remaining
+// child draws a slot in [0, W); the holders of the minimum draw transmit,
+// and unless the minimum is unique the messages collide and are retried.
+func (c *collector) collectContention() {
+	n := c.nw.N()
+	buffered := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		if c.parent[i] != parentNone {
+			buffered[i] = append(buffered[i], c.id(i))
+		}
+	}
+
+	// Post-order over the whole forest.
+	var post []int32
+	stack := make([]int32, 0, n)
+	visited := make([]bool, n)
+	for _, root := range c.order {
+		stack = append(stack, root)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			if !visited[u] {
+				visited[u] = true
+				stack = append(stack, c.children[u]...)
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			post = append(post, u)
+		}
+	}
+	// The stack-based traversal above visits children after re-examining
+	// the parent, producing a valid post-order (every child precedes its
+	// parent because children are pushed above it).
+
+	// Group the post-order by parent and run the contention race per
+	// sibling group, in the order groups complete.
+	for _, u := range post {
+		if len(c.children[u]) > 0 {
+			c.race(c.children[u], buffered)
+		}
+		// u itself uploads once its own group's turn comes; tier-1 tags
+		// form the reader's group below.
+	}
+	c.race(c.order, buffered)
+}
+
+// race resolves one sibling group: members repeatedly contend until each has
+// uploaded its buffer to the shared parent. The window follows binary
+// exponential backoff — it doubles after every collision — because with a
+// fixed small window a large sibling group (the reader can have thousands of
+// tier-1 children) would collide forever. It stays at its grown size for the
+// rest of the group: halving after each success would re-pay the collision
+// ladder for every single upload.
+func (c *collector) race(group []int32, buffered [][]uint64) {
+	remaining := append([]int32(nil), group...)
+	w := c.opts.ContentionWindow
+	const maxWindow = 1 << 16
+	for len(remaining) > 0 {
+		// Each round every remaining child draws a backoff slot; the
+		// minimal draw(s) transmit first.
+		minSlot := w
+		var winners []int32
+		for _, ch := range remaining {
+			d := c.src.Intn(w)
+			if d < minSlot {
+				minSlot, winners = d, winners[:0]
+			}
+			if d == minSlot {
+				winners = append(winners, ch)
+			}
+		}
+		c.clock.ShortSlots += int64(minSlot)
+		if len(winners) > 1 {
+			// Collision: every winner burns one full ID message that no
+			// one can decode, then the round repeats with a wider window.
+			for _, ch := range winners {
+				c.transmit(int(ch))
+			}
+			if w < maxWindow {
+				w *= 2
+			}
+			continue
+		}
+		ch := winners[0]
+		c.uploadContended(ch, buffered)
+		for i, r := range remaining {
+			if r == ch {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// uploadContended sends a child's buffer to its parent and puts it to sleep.
+// There is no token (contention replaces the parent's coordination), but
+// every message must be acknowledged: without an ack a contender cannot know
+// whether its transmission collided, which is precisely how collisions are
+// detected here.
+func (c *collector) uploadContended(u int32, buffered [][]uint64) {
+	p := c.parent[u]
+	for _, id := range buffered[u] {
+		c.backoff()
+		c.transmit(int(u))
+		if p == parentReader {
+			c.collected = append(c.collected, id)
+			// The reader's ack: one long slot, decoded by the uploader.
+			c.clock.LongSlots++
+			c.cumLong++
+			c.meter.AddReceived(int(u), energy.IDBits-1)
+		} else {
+			buffered[p] = append(buffered[p], id)
+			c.transmit(int(p))
+		}
+	}
+	buffered[u] = nil
+	c.sleep(u)
+}

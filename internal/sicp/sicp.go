@@ -1,0 +1,325 @@
+// Package sicp implements the baseline the paper compares against (§VI-A):
+// the Serialized ID Collection Protocol for state-free networked tags from
+// Chen et al. [16], plus its contention-based sibling CICP.
+//
+// The paper only sketches SICP ("a system-wide broadcast to establish a
+// spanning tree for routing, then CSMA to relay IDs hop by hop to the
+// reader"), so this package reconstructs it — see DESIGN.md "Substitutions"
+// for the modeling choices. The reconstruction:
+//
+//  1. Tree phase. The reader's 96-bit collection request floods outward.
+//     Each tag rebroadcasts it exactly once after a CSMA backoff; a tag's
+//     parent is the upstream neighbor whose rebroadcast it heard first. The
+//     reader's own broadcast reaches only tier-1 tags (per §VI-A, SICP's
+//     reader↔tag range is r', unlike CCM's one-hop R coverage).
+//  2. Collection phase. Strictly serialized post-order DFS over the tree:
+//     a parent hands a 96-bit token to each child in turn; the child uploads
+//     every ID buffered from its own subtree (96 bits each, preceded by a
+//     CSMA backoff); the parent closes the exchange with a 96-bit ack and
+//     the child goes to sleep. The reader's tier-1 children self-serialize
+//     by carrier sense instead of receiving reader tokens.
+//
+// Energy model: a tag is awake from the reader's request until its own
+// upload is complete — under CSMA it cannot sleep earlier because it does
+// not know when its turn comes. While awake it carrier-senses every slot
+// (1 bit per short backoff slot, 1 bit per long slot it cannot decode) and
+// fully receives every 96-bit message transmitted by a neighbor. Time
+// model: each message occupies one long (96-bit) slot; each backoff burns
+// its drawn number of short slots.
+package sicp
+
+import (
+	"fmt"
+
+	"netags/internal/energy"
+	"netags/internal/prng"
+	"netags/internal/topology"
+)
+
+// Options configures a collection run.
+type Options struct {
+	// Seed drives the CSMA backoff draws (and nothing else: the protocol is
+	// otherwise deterministic given the topology).
+	Seed uint64
+	// ContentionWindow is the CSMA window W: each transmission is preceded
+	// by a uniform backoff in [0, W) short slots. Default 8.
+	ContentionWindow int
+	// IDs assigns per-tag identifiers; nil means tag i carries uint64(i)+1.
+	IDs []uint64
+}
+
+func (o *Options) setDefaults() {
+	if o.ContentionWindow == 0 {
+		o.ContentionWindow = 8
+	}
+}
+
+// Result reports one collection run.
+type Result struct {
+	// Collected lists every tag ID delivered to the reader.
+	Collected []uint64
+	// Clock is the total air time.
+	Clock energy.Clock
+	// Meter is the per-tag energy.
+	Meter *energy.Meter
+	// TreeDepth is the depth of the spanning tree (≥ the tier count).
+	TreeDepth int
+}
+
+// Collect runs SICP over the network and returns the IDs gathered by the
+// reader, with full time and energy accounting.
+func Collect(nw *topology.Network, opts Options) (*Result, error) {
+	opts.setDefaults()
+	if opts.IDs != nil && len(opts.IDs) != nw.N() {
+		return nil, fmt.Errorf("sicp: %d IDs for %d tags", len(opts.IDs), nw.N())
+	}
+	if opts.ContentionWindow < 1 {
+		return nil, fmt.Errorf("sicp: contention window %d must be >= 1", opts.ContentionWindow)
+	}
+	c := &collector{
+		nw:    nw,
+		opts:  opts,
+		src:   prng.New(opts.Seed),
+		meter: energy.NewMeter(nw.N()),
+	}
+	c.buildTree()
+	c.collect()
+	return &Result{
+		Collected: c.collected,
+		Clock:     c.clock,
+		Meter:     c.meter,
+		TreeDepth: c.depth,
+	}, nil
+}
+
+type collector struct {
+	nw   *topology.Network
+	opts Options
+	src  *prng.Source
+
+	meter *energy.Meter
+	clock energy.Clock
+
+	parent   []int32 // parent tag of each tag; -1 = reader, -2 = none
+	children [][]int32
+	order    []int32 // tier-1 tags in flood order (reader's children)
+	depth    int
+
+	asleep    []bool
+	collected []uint64
+
+	// Cumulative air-time counters for the awake-sensing charge: cumShort
+	// is the total short-slot bits elapsed, cumLong the number of long
+	// slots. A tag's idle-sensing cost is the delta between its sleep time
+	// and its wake time (all in-system tags wake at the request).
+	cumShort int64
+	cumLong  int64
+}
+
+const (
+	parentReader int32 = -1
+	parentNone   int32 = -2
+)
+
+func (c *collector) id(i int) uint64 {
+	if c.opts.IDs != nil {
+		return c.opts.IDs[i]
+	}
+	return uint64(i) + 1
+}
+
+// backoff draws a CSMA backoff and charges it to the clock as short slots.
+func (c *collector) backoff() {
+	b := int64(c.src.Intn(c.opts.ContentionWindow))
+	c.clock.ShortSlots += b
+	c.cumShort += b
+}
+
+// transmit models one 96-bit message from tag u: one long slot on the air
+// and 96 bits of TX energy for u. Awake neighbors decode the message; their
+// 96-bit reception is charged as 95 bits here plus the 1-bit carrier-sense
+// charge every awake tag pays for the slot at sleep time.
+func (c *collector) transmit(u int) {
+	c.clock.LongSlots++
+	c.cumLong++
+	c.meter.AddSent(u, energy.IDBits)
+	for _, v := range c.nw.Neighbors(u) {
+		if !c.asleep[v] {
+			c.meter.AddReceived(int(v), energy.IDBits-1)
+		}
+	}
+}
+
+// sleep retires tag u: it stops sensing and is charged for every slot it
+// stayed awake (1 bit each), minus the long slots it spent transmitting
+// itself (half duplex: no reception during its own transmissions).
+func (c *collector) sleep(u int32) {
+	idle := c.cumShort + c.cumLong - c.meter.Sent(int(u))/energy.IDBits
+	if idle > 0 {
+		c.meter.AddReceived(int(u), idle)
+	}
+	c.asleep[u] = true
+}
+
+// buildTree floods the collection request tier by tier and establishes
+// parent pointers. Within a tier, rebroadcast order is randomized by the
+// backoff draws (CSMA), and a tag adopts the first upstream transmitter it
+// heard.
+func (c *collector) buildTree() {
+	n := c.nw.N()
+	c.parent = make([]int32, n)
+	c.children = make([][]int32, n)
+	c.asleep = make([]bool, n)
+	for i := range c.parent {
+		c.parent[i] = parentNone
+		// Tags that cannot reach the reader never hear the request (their
+		// entire neighborhood is unreachable too) and stay asleep.
+		c.asleep[i] = c.nw.Tier[i] == 0
+	}
+
+	// The reader's request: one long slot, received by tier-1 tags (the
+	// 96th bit of their reception comes from the carrier-sense charge at
+	// sleep time, as for every decoded message).
+	c.clock.LongSlots++
+	c.cumLong++
+	for i := 0; i < n; i++ {
+		if c.nw.Tier[i] == 1 {
+			c.parent[i] = parentReader
+			c.meter.AddReceived(i, energy.IDBits-1)
+		}
+	}
+
+	// Tier-by-tier rebroadcast: every tag forwards the request exactly once
+	// after a CSMA backoff. Intra-tier order is randomized (the backoff
+	// race). Each deeper tag adopts one uniformly chosen upstream neighbor
+	// as parent: reception jitter decides which rebroadcast a given
+	// listener locks onto first, and modeling it as a uniform choice keeps
+	// the tree's branching factor realistic instead of letting the
+	// globally-first transmitter of a tier claim its whole range.
+	maxTier := c.nw.K
+	for tier := 1; tier <= maxTier; tier++ {
+		members := make([]int32, 0, 64)
+		for i := 0; i < n; i++ {
+			if int(c.nw.Tier[i]) == tier {
+				members = append(members, int32(i))
+			}
+		}
+		// Fisher–Yates with the run's source.
+		for i := len(members) - 1; i > 0; i-- {
+			j := c.src.Intn(i + 1)
+			members[i], members[j] = members[j], members[i]
+		}
+		for _, u := range members {
+			c.backoff()
+			c.transmit(int(u))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if c.nw.Tier[i] < 2 {
+			continue
+		}
+		upstream := make([]int32, 0, 8)
+		for _, v := range c.nw.Neighbors(i) {
+			if c.nw.Tier[v] == c.nw.Tier[i]-1 {
+				upstream = append(upstream, v)
+			}
+		}
+		// Reachable tags at tier ≥ 2 always have an upstream neighbor (BFS
+		// invariant).
+		c.parent[i] = upstream[c.src.Intn(len(upstream))]
+	}
+
+	// Materialize children lists and the reader's child order; compute
+	// depth.
+	for i := 0; i < n; i++ {
+		switch c.parent[i] {
+		case parentReader:
+			c.order = append(c.order, int32(i))
+		case parentNone:
+			// Unreachable tag: outside the system.
+		default:
+			p := c.parent[i]
+			c.children[p] = append(c.children[p], int32(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if c.parent[i] == parentNone {
+			continue
+		}
+		d := 1
+		for p := c.parent[i]; p != parentReader; p = c.parent[p] {
+			d++
+		}
+		if d > c.depth {
+			c.depth = d
+		}
+	}
+}
+
+// collect walks the tree in post-order. Each tag uploads its subtree's IDs
+// to its parent in one serialized exchange and then sleeps.
+func (c *collector) collect() {
+	// buffered[u] holds the IDs tag u must upload: its own plus everything
+	// its children delivered.
+	n := c.nw.N()
+	buffered := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		if c.parent[i] != parentNone {
+			buffered[i] = append(buffered[i], c.id(i))
+		}
+	}
+
+	// Iterative post-order DFS (the tree can be thousands deep at small r).
+	walk := func(u int32) {
+		type frame struct {
+			u     int32
+			child int
+		}
+		stack := []frame{{u: u}}
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.child < len(c.children[top.u]) {
+				ch := c.children[top.u][top.child]
+				top.child++
+				// Token from parent to child: backoff + one message.
+				c.backoff()
+				c.transmit(int(top.u))
+				stack = append(stack, frame{u: ch})
+				continue
+			}
+			// All children done: upload to parent, then sleep.
+			c.upload(top.u, buffered)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for _, t1 := range c.order {
+		// Reader children self-serialize by carrier sense: one contention
+		// backoff before each subtree starts.
+		c.backoff()
+		walk(t1)
+	}
+}
+
+// upload sends tag u's buffered IDs to its parent (or the reader) and puts
+// u to sleep after the closing ack.
+func (c *collector) upload(u int32, buffered [][]uint64) {
+	p := c.parent[u]
+	for _, id := range buffered[u] {
+		c.backoff()
+		c.transmit(int(u))
+		if p == parentReader {
+			c.collected = append(c.collected, id)
+		} else {
+			buffered[p] = append(buffered[p], id)
+		}
+	}
+	buffered[u] = nil
+	// Closing ack from the parent tells it the child's subtree is complete.
+	// The reader needs no ack — it is the sink and observes the data
+	// directly — so its children simply sleep after their last message.
+	if p != parentReader {
+		c.backoff()
+		c.transmit(int(p))
+	}
+	c.sleep(u)
+}

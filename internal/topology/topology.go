@@ -1,0 +1,280 @@
+// Package topology turns a deployment of state-free tags into the network
+// structure the protocols run over: the tag↔tag neighbor graph, the per-tag
+// tier (minimum hop distance to the reader, §III-C), and reachability.
+//
+// "State-free" means the tags themselves never hold this structure — it is
+// purely a property of where they stand. The simulator computes it once per
+// deployment so that it can deliver transmissions to the right listeners;
+// the protocols under test never read it except through the air.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"netags/internal/geom"
+)
+
+// Ranges bundles the three communication ranges of the asymmetric link model
+// (§III-A): the reader reaches every tag in one hop, tags reach the reader
+// only from nearby, and tag↔tag links are shortest of all.
+type Ranges struct {
+	// ReaderToTag (R) is how far the reader's broadcast carries.
+	ReaderToTag float64
+	// TagToReader (r') is how close a tag must be for the reader to sense
+	// its transmission.
+	TagToReader float64
+	// TagToTag (r) is the peer-to-peer range between tags.
+	TagToTag float64
+}
+
+// PaperRanges returns the §VI-A setting: R = 30 m, r' = 20 m, with the given
+// inter-tag range r.
+func PaperRanges(r float64) Ranges {
+	return Ranges{ReaderToTag: 30, TagToReader: 20, TagToTag: r}
+}
+
+// Validate reports whether the ranges are physically meaningful under the
+// paper's model (R > r', R > r, all positive).
+func (rg Ranges) Validate() error {
+	if rg.ReaderToTag <= 0 || rg.TagToReader <= 0 || rg.TagToTag <= 0 {
+		return fmt.Errorf("topology: ranges must be positive, got %+v", rg)
+	}
+	if rg.ReaderToTag < rg.TagToReader {
+		return fmt.Errorf("topology: reader-to-tag range %v below tag-to-reader range %v",
+			rg.ReaderToTag, rg.TagToReader)
+	}
+	return nil
+}
+
+// EstimatedTiers is the reader's a-priori tier estimate 1 + ⌈(R−r')/r⌉ used
+// to size the checking frame (§III-E).
+func (rg Ranges) EstimatedTiers() int {
+	return 1 + int(math.Ceil((rg.ReaderToTag-rg.TagToReader)/rg.TagToTag))
+}
+
+// CheckingFrameLen is L_c = 2 × (1 + ⌈(R−r')/r⌉) from §III-E.
+func (rg Ranges) CheckingFrameLen() int {
+	return 2 * rg.EstimatedTiers()
+}
+
+// Network is the derived structure for one reader over one deployment.
+// Adjacency is stored in compressed sparse row form: the neighbors of tag i
+// are adj[offsets[i]:offsets[i+1]].
+type Network struct {
+	Deployment *geom.Deployment
+	Ranges     Ranges
+	// Reader is the position of the reader this network is rooted at.
+	Reader geom.Point
+
+	// Obstacles are wall segments that block the weak, tag-originated
+	// links (tag↔tag and tag→reader). The reader's high-power broadcast
+	// penetrates them (§III-A's asymmetric links), so the field of view is
+	// unaffected.
+	Obstacles []geom.Segment
+
+	offsets []int32
+	adj     []int32
+
+	// Tier[i] is tag i's tier: 1 for direct reader contact, k for k-hop
+	// paths, 0 for tags that cannot reach the reader at all.
+	Tier []int16
+	// K is the maximum tier among reachable tags (the K of §IV-C).
+	K int
+	// Reachable is the number of tags with Tier > 0.
+	Reachable int
+}
+
+// Build computes the network for the reader at d.Readers[readerIdx].
+func Build(d *geom.Deployment, readerIdx int, rg Ranges) (*Network, error) {
+	return BuildObstructed(d, readerIdx, rg, nil)
+}
+
+// BuildObstructed is Build with wall segments that block tag-originated
+// links — the paper's motivating scenario of obstacles carving holes into a
+// reader's direct coverage, which multi-hop relaying then routes around.
+func BuildObstructed(d *geom.Deployment, readerIdx int, rg Ranges, obstacles []geom.Segment) (*Network, error) {
+	if err := rg.Validate(); err != nil {
+		return nil, err
+	}
+	if readerIdx < 0 || readerIdx >= len(d.Readers) {
+		return nil, fmt.Errorf("topology: reader index %d out of range [0,%d)", readerIdx, len(d.Readers))
+	}
+	nw := &Network{
+		Deployment: d,
+		Ranges:     rg,
+		Reader:     d.Readers[readerIdx],
+		Obstacles:  obstacles,
+	}
+	nw.buildAdjacency()
+	nw.computeTiers()
+	return nw, nil
+}
+
+// Neighbors returns the indices of tags within TagToTag range of tag i.
+// The returned slice aliases internal storage and must not be modified.
+func (nw *Network) Neighbors(i int) []int32 {
+	return nw.adj[nw.offsets[i]:nw.offsets[i+1]]
+}
+
+// Degree returns the number of neighbors of tag i.
+func (nw *Network) Degree(i int) int {
+	return int(nw.offsets[i+1] - nw.offsets[i])
+}
+
+// N returns the number of tags (including unreachable ones).
+func (nw *Network) N() int { return len(nw.Tier) }
+
+// TierCounts returns a histogram of tags per tier; index 0 counts
+// unreachable tags.
+func (nw *Network) TierCounts() []int {
+	counts := make([]int, nw.K+1)
+	for _, t := range nw.Tier {
+		counts[t]++
+	}
+	return counts
+}
+
+// buildAdjacency fills the CSR adjacency using a uniform grid with cell size
+// equal to the tag-to-tag range, so each tag only tests the 3×3 surrounding
+// cells. Links are symmetric by construction (same range both ways).
+func (nw *Network) buildAdjacency() {
+	tags := nw.Deployment.Tags
+	n := len(tags)
+	r := nw.Ranges.TagToTag
+	r2 := r * r
+
+	// Grid index: map each tag to a cell.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range tags {
+		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
+		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
+	}
+	if n == 0 {
+		nw.offsets = make([]int32, 1)
+		return
+	}
+	cols := int((maxX-minX)/r) + 1
+	rows := int((maxY-minY)/r) + 1
+	cell := func(p geom.Point) (int, int) {
+		cx := int((p.X - minX) / r)
+		cy := int((p.Y - minY) / r)
+		// Guard the topmost boundary points.
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
+		return cx, cy
+	}
+
+	// Bucket tags per cell (counting sort into a flat slice).
+	cellOf := make([]int32, n)
+	cellCount := make([]int32, cols*rows+1)
+	for i, p := range tags {
+		cx, cy := cell(p)
+		c := int32(cy*cols + cx)
+		cellOf[i] = c
+		cellCount[c+1]++
+	}
+	for c := 1; c < len(cellCount); c++ {
+		cellCount[c] += cellCount[c-1]
+	}
+	cellStart := cellCount // renamed view: cellStart[c] .. cellStart[c+1]
+	members := make([]int32, n)
+	fill := make([]int32, cols*rows)
+	for i := range tags {
+		c := cellOf[i]
+		members[cellStart[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+
+	// Pass 1: degree count; pass 2: fill.
+	deg := make([]int32, n)
+	forEachCandidate := func(i int, fn func(j int32)) {
+		p := tags[i]
+		cx, cy := cell(p)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || nx >= cols || ny < 0 || ny >= rows {
+					continue
+				}
+				c := int32(ny*cols + nx)
+				for _, j := range members[cellStart[c]:cellStart[c+1]] {
+					if int(j) == i {
+						continue
+					}
+					if p.Dist2(tags[j]) <= r2 &&
+						!geom.Blocked(nw.Obstacles, p, tags[j]) {
+						fn(j)
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		d := int32(0)
+		forEachCandidate(i, func(int32) { d++ })
+		deg[i] = d
+	}
+	nw.offsets = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		nw.offsets[i+1] = nw.offsets[i] + deg[i]
+	}
+	nw.adj = make([]int32, nw.offsets[n])
+	cursor := make([]int32, n)
+	for i := 0; i < n; i++ {
+		forEachCandidate(i, func(j int32) {
+			nw.adj[nw.offsets[i]+cursor[i]] = j
+			cursor[i]++
+		})
+	}
+}
+
+// computeTiers runs a BFS from the tier-1 set (tags within TagToReader of
+// the reader). A tag is in the system only if it is also inside the
+// reader's broadcast range: CCM tags must hear the one-hop request and
+// indicator-vector broadcasts (§III-A), so a tag beyond ReaderToTag cannot
+// participate no matter how well it is relay-connected.
+func (nw *Network) computeTiers() {
+	tags := nw.Deployment.Tags
+	n := len(tags)
+	nw.Tier = make([]int16, n)
+	queue := make([]int32, 0, n)
+	r1 := nw.Ranges.TagToReader
+	rb := nw.Ranges.ReaderToTag
+	inFieldOfView := make([]bool, n)
+	for i, p := range tags {
+		d := p.Dist(nw.Reader)
+		inFieldOfView[i] = d <= rb
+		// Tier 1 needs the weak tag→reader link, which obstacles block;
+		// the field of view (reader's high-power broadcast) is unaffected.
+		if d <= r1 && inFieldOfView[i] && !geom.Blocked(nw.Obstacles, p, nw.Reader) {
+			nw.Tier[i] = 1
+			queue = append(queue, int32(i))
+		}
+	}
+	nw.Reachable = len(queue)
+	maxTier := int16(0)
+	if len(queue) > 0 {
+		maxTier = 1
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		next := nw.Tier[u] + 1
+		for _, v := range nw.Neighbors(int(u)) {
+			if nw.Tier[v] == 0 && inFieldOfView[v] {
+				nw.Tier[v] = next
+				if next > maxTier {
+					maxTier = next
+				}
+				nw.Reachable++
+				queue = append(queue, v)
+			}
+		}
+	}
+	nw.K = int(maxTier)
+}

@@ -1,0 +1,154 @@
+package trp
+
+import (
+	"fmt"
+
+	"netags/internal/core"
+	"netags/internal/energy"
+	"netags/internal/prng"
+	"netags/internal/topology"
+)
+
+// Identification goes beyond detection: instead of answering "is anything
+// missing?", it classifies every inventory ID as present or absent with
+// certainty. The paper's related work (§VII, Sheng et al. [9]) notes that
+// single-shot probabilistic protocols cannot guarantee this; the standard
+// remedy — implemented here — is iteration with fresh hash seeds:
+//
+//   - an idle predicted-busy slot proves every ID hashed into it absent;
+//   - a busy slot whose mapped IDs are all known-absent except one proves
+//     that one present (assuming a closed system: no unknown tags answer).
+//
+// Each round re-hashes with a new seed, so IDs that shared a slot (and thus
+// masked each other) almost surely separate within a few rounds.
+
+// IdentifyOptions configures Identify.
+type IdentifyOptions struct {
+	// FrameSize is the per-round frame size; 0 derives a frame comparable
+	// to the inventory size (load factor ~1).
+	FrameSize int
+	// MaxRounds bounds the number of TRP executions (default 16).
+	MaxRounds int
+	// Seed derives the per-round request seeds.
+	Seed uint64
+}
+
+// IdentifyResult reports an identification run.
+type IdentifyResult struct {
+	// Present and Absent partition the classified inventory IDs.
+	Present []uint64
+	Absent  []uint64
+	// Undetermined lists IDs still unresolved when MaxRounds ran out
+	// (empty when Complete).
+	Undetermined []uint64
+	// Complete reports full classification.
+	Complete bool
+	// Rounds is the number of TRP executions used.
+	Rounds int
+	// Clock and Meter accumulate costs over all rounds.
+	Clock energy.Clock
+	Meter *energy.Meter
+}
+
+// Identify classifies every inventory ID as present or absent by iterating
+// TRP executions with fresh seeds over CCM. presentIDs[i] is the true ID of
+// deployment tag i (the ground truth being simulated). The system is
+// assumed closed: every responding tag is in the inventory.
+func Identify(nw *topology.Network, inventory, presentIDs []uint64, opts IdentifyOptions) (*IdentifyResult, error) {
+	if len(presentIDs) != nw.N() {
+		return nil, fmt.Errorf("trp: %d present IDs for %d tags", len(presentIDs), nw.N())
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 16
+	}
+	if opts.MaxRounds < 0 {
+		return nil, fmt.Errorf("trp: negative round bound")
+	}
+	f := opts.FrameSize
+	if f == 0 {
+		f = len(inventory)
+		if f < 16 {
+			f = 16
+		}
+	}
+	if f <= 0 {
+		return nil, fmt.Errorf("trp: frame size %d must be positive", f)
+	}
+
+	const (
+		unknown = iota
+		present
+		absent
+	)
+	state := make(map[uint64]int, len(inventory))
+	for _, id := range inventory {
+		state[id] = unknown
+	}
+	undetermined := len(inventory)
+
+	out := &IdentifyResult{Meter: energy.NewMeter(nw.N())}
+	seeds := prng.New(opts.Seed)
+	for round := 0; round < opts.MaxRounds && undetermined > 0; round++ {
+		seed := seeds.Uint64()
+		res, err := core.RunSession(nw, core.Config{
+			FrameSize: f,
+			Seed:      seed,
+			Sampling:  1,
+			IDs:       presentIDs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rounds++
+		out.Clock.Add(res.Clock)
+		out.Meter.Merge(res.Meter)
+
+		// Group the inventory by slot for this seed.
+		slotIDs := make(map[int][]uint64, len(inventory))
+		for _, id := range inventory {
+			s := prng.SlotOf(id, seed, f)
+			slotIDs[s] = append(slotIDs[s], id)
+		}
+		for slot, ids := range slotIDs {
+			if !res.Bitmap.Get(slot) {
+				// Idle slot: everyone mapped here is absent.
+				for _, id := range ids {
+					if state[id] != absent {
+						if state[id] == present {
+							return nil, fmt.Errorf("trp: id %d proven both present and absent", id)
+						}
+						state[id] = absent
+						undetermined--
+					}
+				}
+				continue
+			}
+			// Busy slot: if exactly one mapped ID could be alive, it is.
+			candidate := uint64(0)
+			alive := 0
+			for _, id := range ids {
+				if state[id] != absent {
+					alive++
+					candidate = id
+				}
+			}
+			if alive == 1 && state[candidate] == unknown {
+				state[candidate] = present
+				undetermined--
+			}
+		}
+	}
+
+	for _, id := range inventory {
+		switch state[id] {
+		case present:
+			out.Present = append(out.Present, id)
+		case absent:
+			out.Absent = append(out.Absent, id)
+		default:
+			out.Undetermined = append(out.Undetermined, id)
+		}
+	}
+	out.Complete = len(out.Undetermined) == 0
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package trp
+
+import (
+	"testing"
+
+	"netags/internal/geom"
+	"netags/internal/topology"
+)
+
+// identifySetup builds a depleted network plus ground truth: returns the
+// inventory, the depleted network's present IDs, and the set of IDs that
+// are genuinely in the system afterwards.
+func identifySetup(t *testing.T, n, remove int, seed uint64) (inv, present []uint64, truth map[uint64]bool, nw *topology.Network) {
+	t.Helper()
+	full := geom.NewUniformDisk(n, 30, seed)
+	fullNw := diskNetwork(t, full, 6)
+	allIDs := ids(n)
+	for i := 0; i < n; i++ {
+		if fullNw.Tier[i] > 0 {
+			inv = append(inv, allIDs[i])
+		}
+	}
+	var removeIdx []int
+	removed := make(map[uint64]bool, remove)
+	for i := 0; i < n && len(removeIdx) < remove; i++ {
+		if fullNw.Tier[i] > 0 {
+			removeIdx = append(removeIdx, i)
+			removed[allIDs[i]] = true
+		}
+	}
+	depleted, orig := full.Remove(removeIdx)
+	depNw := diskNetwork(t, depleted, 6)
+	present = make([]uint64, depleted.N())
+	for newIdx, oldIdx := range orig {
+		present[newIdx] = allIDs[oldIdx]
+	}
+	truth = make(map[uint64]bool, len(inv))
+	for i, id := range present {
+		if depNw.Tier[i] > 0 {
+			truth[id] = true
+		}
+	}
+	return inv, present, truth, depNw
+}
+
+func TestIdentifyClassifiesExactly(t *testing.T) {
+	inv, present, truth, nw := identifySetup(t, 1000, 30, 501)
+	res, err := Identify(nw, inv, present, IdentifyOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("identification incomplete: %d undetermined after %d rounds",
+			len(res.Undetermined), res.Rounds)
+	}
+	for _, id := range res.Present {
+		if !truth[id] {
+			t.Fatalf("id %d classified present but is absent", id)
+		}
+	}
+	for _, id := range res.Absent {
+		if truth[id] {
+			t.Fatalf("id %d classified absent but is present", id)
+		}
+	}
+	if len(res.Present)+len(res.Absent) != len(inv) {
+		t.Fatalf("classified %d+%d of %d", len(res.Present), len(res.Absent), len(inv))
+	}
+	if res.Clock.Total() == 0 {
+		t.Fatal("costs not tracked")
+	}
+}
+
+func TestIdentifyNothingMissing(t *testing.T) {
+	inv, present, _, nw := identifySetup(t, 600, 0, 503)
+	res, err := Identify(nw, inv, present, IdentifyOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("incomplete with nothing missing (%d undetermined)", len(res.Undetermined))
+	}
+	if len(res.Absent) != 0 {
+		t.Fatalf("%d absences invented", len(res.Absent))
+	}
+	if len(res.Present) != len(inv) {
+		t.Fatalf("present %d of %d", len(res.Present), len(inv))
+	}
+}
+
+func TestIdentifyRoundBound(t *testing.T) {
+	inv, present, _, nw := identifySetup(t, 800, 20, 507)
+	res, err := Identify(nw, inv, present, IdentifyOptions{Seed: 7, MaxRounds: 1, FrameSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single tiny frame cannot separate 800 IDs; the bound must hold and
+	// the leftover must be reported.
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", res.Rounds)
+	}
+	if res.Complete || len(res.Undetermined) == 0 {
+		t.Fatal("implausibly complete with one 32-slot frame")
+	}
+}
+
+func TestIdentifyValidation(t *testing.T) {
+	_, present, _, nw := identifySetup(t, 100, 0, 509)
+	if _, err := Identify(nw, nil, present[:1], IdentifyOptions{}); err == nil {
+		t.Error("present-ID mismatch accepted")
+	}
+	if _, err := Identify(nw, nil, present, IdentifyOptions{MaxRounds: -1}); err == nil {
+		t.Error("negative round bound accepted")
+	}
+}

@@ -1,0 +1,269 @@
+// Package trp implements missing-tag detection (§V): the Trusted Reader
+// Protocol of Tan et al. [8] layered on CCM sessions.
+//
+// The reader knows the full inventory of tag IDs. For a request (f, η) it
+// can predict exactly which frame slots must be busy — every tag hashes its
+// ID with η into one slot deterministically (p = 1). If a predicted-busy
+// slot comes back idle, every tag that hashed into it must be absent.
+// Theorem 1 guarantees the CCM-collected bitmap equals the traditional
+// one-hop bitmap, so the prediction logic carries over unchanged to
+// networked tags.
+package trp
+
+import (
+	"fmt"
+	"math"
+
+	"netags/internal/bitmap"
+	"netags/internal/core"
+	"netags/internal/energy"
+	"netags/internal/prng"
+	"netags/internal/topology"
+)
+
+// PaperFrameSize is the frame size the paper derives from [8] for n = 10,000,
+// m = 50, δ = 95% (§VI-B).
+const PaperFrameSize = 3228
+
+// FrameSizeFor returns the smallest frame size such that a single execution
+// detects the absence of more than m tags (out of an inventory of n) with
+// probability at least delta — requirement (14).
+//
+// A missing tag is detected iff no present tag hashed into its slot, which
+// happens with probability ≈ e^{-(n-m)/f}. With m independent missing tags,
+// Prob{detect} ≈ 1 − (1 − e^{-(n-m)/f})^m ≥ delta solves to
+// f ≥ (n−m) / −ln(1 − (1−delta)^{1/m}).
+func FrameSizeFor(n, m int, delta float64) (int, error) {
+	if n <= 0 || m <= 0 || m >= n {
+		return 0, fmt.Errorf("trp: need 0 < m < n, got n=%d m=%d", n, m)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("trp: delta %v outside (0,1)", delta)
+	}
+	// 1 − (1−δ)^{1/m}, computed stably.
+	q := -math.Expm1(math.Log1p(-delta) / float64(m))
+	f := int(math.Ceil(float64(n-m) / -math.Log(q)))
+	// The e^{-(n−m)/f} approximation slightly overstates the probability a
+	// slot stays empty; nudge f up until the exact Bernoulli form meets
+	// delta (at most a handful of steps).
+	for DetectionProbability(n, m, f) < delta {
+		f++
+	}
+	return f, nil
+}
+
+// DetectionProbability returns the analytical single-execution detection
+// probability when exactly missing tags are absent from an inventory of n,
+// using frame size f.
+func DetectionProbability(n, missing, f int) float64 {
+	if missing <= 0 || f <= 0 {
+		return 0
+	}
+	present := n - missing
+	if present < 0 {
+		present = 0
+	}
+	pEmpty := math.Pow(1-1/float64(f), float64(present))
+	return 1 - math.Pow(1-pEmpty, float64(missing))
+}
+
+// Plan is the reader's precomputed view of one detection request: which
+// slots each inventory ID occupies and which slots must therefore be busy.
+type Plan struct {
+	// FrameSize and Seed identify the request (f, η).
+	FrameSize int
+	Seed      uint64
+	// Expected is the predicted status bitmap: bit i set iff some inventory
+	// tag hashes to slot i.
+	Expected *bitmap.Bitmap
+
+	// slotIDs maps each slot to the inventory IDs that hash into it, for
+	// identifying suspects after detection.
+	slotIDs map[int][]uint64
+}
+
+// NewPlan builds the reader-side prediction for the inventory ids under
+// request (frameSize, seed).
+func NewPlan(ids []uint64, frameSize int, seed uint64) (*Plan, error) {
+	if frameSize <= 0 {
+		return nil, fmt.Errorf("trp: frame size %d must be positive", frameSize)
+	}
+	p := &Plan{
+		FrameSize: frameSize,
+		Seed:      seed,
+		Expected:  bitmap.New(frameSize),
+		slotIDs:   make(map[int][]uint64, len(ids)),
+	}
+	for _, id := range ids {
+		s := prng.SlotOf(id, seed, frameSize)
+		p.Expected.Set(s)
+		p.slotIDs[s] = append(p.slotIDs[s], id)
+	}
+	return p, nil
+}
+
+// Detection is the outcome of comparing a collected bitmap to a plan.
+type Detection struct {
+	// Missing reports whether at least one missing tag was detected.
+	Missing bool
+	// EmptySlots lists the predicted-busy slots that came back idle.
+	EmptySlots []int
+	// Suspects lists the inventory IDs that hashed into an empty slot —
+	// every one of them is provably absent (under a reliable channel).
+	Suspects []uint64
+	// UnexpectedBusy lists slots that were busy without any inventory tag
+	// hashing into them: evidence of unknown tags (or channel noise).
+	UnexpectedBusy []int
+}
+
+func errLengthMismatch(got, want int) error {
+	return fmt.Errorf("trp: bitmap length %d does not match frame size %d", got, want)
+}
+
+// Detect compares the actual bitmap collected from the field against the
+// plan's prediction.
+func (p *Plan) Detect(actual *bitmap.Bitmap) (Detection, error) {
+	var d Detection
+	if actual.Len() != p.FrameSize {
+		return d, errLengthMismatch(actual.Len(), p.FrameSize)
+	}
+	p.Expected.ForEach(func(slot int) {
+		if !actual.Get(slot) {
+			d.EmptySlots = append(d.EmptySlots, slot)
+			d.Suspects = append(d.Suspects, p.slotIDs[slot]...)
+		}
+	})
+	actual.ForEach(func(slot int) {
+		if !p.Expected.Get(slot) {
+			d.UnexpectedBusy = append(d.UnexpectedBusy, slot)
+		}
+	})
+	d.Missing = len(d.EmptySlots) > 0
+	return d, nil
+}
+
+// Outcome reports one full detection execution over a networked tag system.
+type Outcome struct {
+	Detection
+	// Rounds, Clock and Meter carry the CCM session costs.
+	Rounds int
+	Clock  energy.Clock
+	Meter  *energy.Meter
+}
+
+// Options configures Run.
+type Options struct {
+	// FrameSize is f; 0 derives it from the inventory size, Tolerance and
+	// Delta via FrameSizeFor.
+	FrameSize int
+	// Seed is the request seed η.
+	Seed uint64
+	// Tolerance is the m of requirement (14); default max(1, 0.5% of the
+	// inventory), the paper's evaluation setting.
+	Tolerance int
+	// Delta is the required detection probability (default 0.95).
+	Delta float64
+	// LossProb forwards the unreliable-channel extension.
+	LossProb float64
+	// LossSeed seeds the loss process.
+	LossSeed uint64
+	// CheckingFrameLen overrides the session's L_c bound (see core.Config).
+	CheckingFrameLen int
+}
+
+// Run executes one TRP detection over the network: the reader plans with the
+// full inventory, CCM collects the actual bitmap from whatever tags are
+// physically present (p = 1), and the plan is checked against it.
+//
+// inventory holds the IDs the reader believes should be present; presentIDs
+// holds the ID of each tag actually deployed in nw (presentIDs[i] belongs to
+// deployment tag i). presentIDs need not be a subset of inventory — IDs
+// outside it show up as UnexpectedBusy slots.
+func Run(nw *topology.Network, inventory, presentIDs []uint64, opts Options) (*Outcome, error) {
+	if len(presentIDs) != nw.N() {
+		return nil, fmt.Errorf("trp: %d present IDs for %d tags", len(presentIDs), nw.N())
+	}
+	if opts.Delta == 0 {
+		opts.Delta = 0.95
+	}
+	if opts.Tolerance == 0 {
+		opts.Tolerance = len(inventory) / 200
+		if opts.Tolerance == 0 {
+			opts.Tolerance = 1
+		}
+	}
+	f := opts.FrameSize
+	if f == 0 {
+		var err error
+		f, err = FrameSizeFor(len(inventory), opts.Tolerance, opts.Delta)
+		if err != nil {
+			return nil, err
+		}
+	}
+	plan, err := NewPlan(inventory, f, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunSession(nw, core.Config{
+		FrameSize:        f,
+		Seed:             opts.Seed,
+		Sampling:         1,
+		IDs:              presentIDs,
+		LossProb:         opts.LossProb,
+		LossSeed:         opts.LossSeed,
+		CheckingFrameLen: opts.CheckingFrameLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	det, err := plan.Detect(res.Bitmap)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Detection: det,
+		Rounds:    res.Rounds,
+		Clock:     res.Clock,
+		Meter:     res.Meter,
+	}, nil
+}
+
+// RunRepeated executes up to maxExecutions TRP detections with distinct
+// seeds, stopping at the first that reports a missing tag — the paper's
+// "multiple executions of TRP will further increase the detection
+// probability" (§V-A). Costs accumulate over every execution performed.
+// The combined miss probability after k clean executions is (1−P_d)^k.
+func RunRepeated(nw *topology.Network, inventory, presentIDs []uint64, opts Options, maxExecutions int) (*Outcome, int, error) {
+	if maxExecutions <= 0 {
+		return nil, 0, fmt.Errorf("trp: execution count %d must be positive", maxExecutions)
+	}
+	var total Outcome
+	total.Meter = energy.NewMeter(nw.N())
+	seeds := prng.New(opts.Seed)
+	for exec := 1; exec <= maxExecutions; exec++ {
+		opts.Seed = seeds.Uint64()
+		opts.LossSeed = seeds.Uint64()
+		out, err := Run(nw, inventory, presentIDs, opts)
+		if err != nil {
+			return nil, exec, err
+		}
+		total.Rounds += out.Rounds
+		total.Clock.Add(out.Clock)
+		total.Meter.Merge(out.Meter)
+		if out.Missing {
+			total.Detection = out.Detection
+			return &total, exec, nil
+		}
+	}
+	return &total, maxExecutions, nil
+}
+
+// PaperSession runs the single §VI-B evaluation session: frame size 3228
+// with p = 1, exactly as the paper measures TRP-CCM's time and energy.
+func PaperSession(nw *topology.Network, seed uint64) (*core.Result, error) {
+	return core.RunSession(nw, core.Config{
+		FrameSize: PaperFrameSize,
+		Seed:      seed,
+		Sampling:  1,
+	})
+}

@@ -1,0 +1,55 @@
+package trp
+
+import (
+	"math"
+
+	"netags/internal/bitmap"
+)
+
+// Unknown-tag detection is the dual of missing-tag detection and the other
+// half of the inventory-integrity story the paper's related work surveys
+// (§VII, refs. [12], [13]): instead of asking "is an inventory tag absent?"
+// (a predicted-busy slot coming back idle), it asks "is a non-inventory tag
+// present?" — a slot coming back busy that no inventory tag maps to. Under
+// CCM's exact bitmap delivery (Theorem 1), such a slot is proof positive.
+//
+// An unknown tag escapes detection only by landing in a slot some inventory
+// tag also occupies, so the single-execution detection probability for u
+// unknown tags is 1 − (1 − q)^u with q = (1−1/f)^n, the chance a given slot
+// is free of the n inventory tags. Plan.DetectUnknown evaluates a collected
+// bitmap; UnknownDetectionProbability gives the analytic rate.
+
+// UnknownDetectionProbability returns the probability that at least one of
+// `unknown` foreign tags shows up in a slot unoccupied by any of the n
+// inventory tags, for frame size f.
+func UnknownDetectionProbability(n, unknown, f int) float64 {
+	if unknown <= 0 || f <= 0 {
+		return 0
+	}
+	q := math.Pow(1-1/float64(f), float64(n))
+	return 1 - math.Pow(1-q, float64(unknown))
+}
+
+// UnknownDetection is the outcome of checking a bitmap for foreign tags.
+type UnknownDetection struct {
+	// Present reports whether at least one unknown tag was proven present.
+	Present bool
+	// Slots lists the busy slots no inventory tag maps to.
+	Slots []int
+}
+
+// DetectUnknown scans a collected bitmap for busy slots outside the plan's
+// prediction — each one proves a tag the reader does not know about.
+func (p *Plan) DetectUnknown(actual *bitmap.Bitmap) (UnknownDetection, error) {
+	var d UnknownDetection
+	if actual.Len() != p.FrameSize {
+		return d, errLengthMismatch(actual.Len(), p.FrameSize)
+	}
+	actual.ForEach(func(slot int) {
+		if !p.Expected.Get(slot) {
+			d.Slots = append(d.Slots, slot)
+		}
+	})
+	d.Present = len(d.Slots) > 0
+	return d, nil
+}

@@ -1,0 +1,91 @@
+package netags
+
+import (
+	"fmt"
+	"time"
+)
+
+// RadioProfile converts the simulator's abstract units — slot counts and
+// bits — into wall-clock time and battery energy. The paper deliberately
+// reports slots and bits because the Gen2 standard leaves slot timing open
+// (§VI-B1) and because RX and TX draw are transceiver-specific (§VI-B2,
+// citing the TI CC1120). A profile pins those physical constants so
+// downstream users can budget real deployments.
+type RadioProfile struct {
+	// ShortSlot is the duration of a 1-bit tag slot, including guard times.
+	ShortSlot time.Duration
+	// LongSlot is the duration of a 96-bit reader-message slot.
+	LongSlot time.Duration
+	// TxPowerMilliwatts is the tag's radio power draw while transmitting.
+	TxPowerMilliwatts float64
+	// RxPowerMilliwatts is the draw while receiving or carrier-sensing.
+	RxPowerMilliwatts float64
+	// BitRate is the tag link rate in bits per second, used to convert a
+	// tag's sent/received bit counts into on-air time.
+	BitRate float64
+}
+
+// CC1120Profile returns a profile modeled on the TI CC1120 sub-GHz
+// transceiver the paper cites, on a Gen2-like link:
+//
+//   - 64 kbps FM0 tag link rate; a 1-bit slot costs ~100 µs with guard
+//     times, a 96-bit message slot ~1.6 ms.
+//   - TX at +10 dBm draws ≈45 mA at 3 V (135 mW); RX draws ≈22 mA (66 mW).
+//
+// RX and TX energies per bit are the same order of magnitude — the paper's
+// §VI-B2 observation that makes received bits the dominant energy cost.
+func CC1120Profile() RadioProfile {
+	return RadioProfile{
+		ShortSlot:         100 * time.Microsecond,
+		LongSlot:          1600 * time.Microsecond,
+		TxPowerMilliwatts: 135,
+		RxPowerMilliwatts: 66,
+		BitRate:           64_000,
+	}
+}
+
+// Validate reports whether the profile is physically meaningful.
+func (p RadioProfile) Validate() error {
+	if p.ShortSlot <= 0 || p.LongSlot <= 0 {
+		return fmt.Errorf("netags: slot durations must be positive, got %v/%v", p.ShortSlot, p.LongSlot)
+	}
+	if p.TxPowerMilliwatts <= 0 || p.RxPowerMilliwatts <= 0 {
+		return fmt.Errorf("netags: radio power draws must be positive")
+	}
+	if p.BitRate <= 0 {
+		return fmt.Errorf("netags: bit rate must be positive")
+	}
+	return nil
+}
+
+// PhysicalCost is a Cost expressed in wall-clock and battery units.
+type PhysicalCost struct {
+	// Duration is the operation's total air time.
+	Duration time.Duration
+	// AvgTagEnergyMicrojoules is the mean per-tag radio energy.
+	AvgTagEnergyMicrojoules float64
+	// MaxTagEnergyMicrojoules bounds the worst-case per-tag energy. It
+	// combines the worst sent and worst received counts, which different
+	// tags may hold, so it is an upper bound on any single tag's spend.
+	MaxTagEnergyMicrojoules float64
+}
+
+// Physical converts a Cost under the given radio profile. It returns an
+// error if the profile is invalid.
+func (c Cost) Physical(p RadioProfile) (PhysicalCost, error) {
+	if err := p.Validate(); err != nil {
+		return PhysicalCost{}, err
+	}
+	bitSeconds := func(bits float64) float64 { return bits / p.BitRate }
+	energyMicro := func(sentBits, recvBits float64) float64 {
+		tx := bitSeconds(sentBits) * p.TxPowerMilliwatts // mW·s = mJ
+		rx := bitSeconds(recvBits) * p.RxPowerMilliwatts
+		return (tx + rx) * 1000 // mJ → µJ
+	}
+	return PhysicalCost{
+		Duration: time.Duration(c.ShortSlots)*p.ShortSlot +
+			time.Duration(c.LongSlots)*p.LongSlot,
+		AvgTagEnergyMicrojoules: energyMicro(c.AvgBitsSent, c.AvgBitsReceived),
+		MaxTagEnergyMicrojoules: energyMicro(float64(c.MaxBitsSent), float64(c.MaxBitsReceived)),
+	}, nil
+}

@@ -1,0 +1,93 @@
+package netags
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCC1120ProfileValid(t *testing.T) {
+	if err := CC1120Profile().Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := []RadioProfile{
+		{},
+		{ShortSlot: time.Microsecond, LongSlot: time.Microsecond, TxPowerMilliwatts: 1, RxPowerMilliwatts: 1},
+		{ShortSlot: time.Microsecond, LongSlot: time.Microsecond, TxPowerMilliwatts: 1, BitRate: 1},
+		{ShortSlot: -time.Microsecond, LongSlot: time.Microsecond, TxPowerMilliwatts: 1, RxPowerMilliwatts: 1, BitRate: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestPhysicalConversion(t *testing.T) {
+	c := Cost{
+		ShortSlots:      1000,
+		LongSlots:       10,
+		MaxBitsSent:     64_000, // one second of TX at 64 kbps
+		MaxBitsReceived: 0,
+		AvgBitsSent:     0,
+		AvgBitsReceived: 64_000, // one second of RX
+	}
+	p := CC1120Profile()
+	pc, err := c.Physical(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDur := 1000*p.ShortSlot + 10*p.LongSlot
+	if pc.Duration != wantDur {
+		t.Fatalf("duration = %v, want %v", pc.Duration, wantDur)
+	}
+	// One second of TX at 135 mW = 135 mJ = 135000 µJ.
+	if math.Abs(pc.MaxTagEnergyMicrojoules-135000) > 1 {
+		t.Fatalf("max energy = %v µJ, want 135000", pc.MaxTagEnergyMicrojoules)
+	}
+	// One second of RX at 66 mW = 66000 µJ.
+	if math.Abs(pc.AvgTagEnergyMicrojoules-66000) > 1 {
+		t.Fatalf("avg energy = %v µJ, want 66000", pc.AvgTagEnergyMicrojoules)
+	}
+}
+
+func TestPhysicalInvalidProfile(t *testing.T) {
+	if _, err := (Cost{}).Physical(RadioProfile{}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+// TestPhysicalEndToEnd sanity-checks the headline energy story in real
+// units: one estimation session should cost an average tag well under a
+// millijoule-scale budget, while ID collection costs an order of magnitude
+// more.
+func TestPhysicalEndToEnd(t *testing.T) {
+	sys := testSystem(t, 2000, 6, 77)
+	est, err := sys.EstimateCardinality(EstimateOptions{Beta: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := sys.CollectIDs(CollectOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := CC1120Profile()
+	pe, err := est.Cost.Physical(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcol, err := col.Cost.Physical(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.AvgTagEnergyMicrojoules <= 0 || pe.Duration <= 0 {
+		t.Fatalf("degenerate physical cost: %+v", pe)
+	}
+	if pcol.AvgTagEnergyMicrojoules <= 2*pe.AvgTagEnergyMicrojoules {
+		t.Fatalf("ID collection energy %.0f µJ not well above estimation's %.0f µJ",
+			pcol.AvgTagEnergyMicrojoules, pe.AvgTagEnergyMicrojoules)
+	}
+}
