@@ -1,0 +1,14 @@
+# Tier-1 verification: build, vet, full test suite, and the experiment
+# harness's worker pool under the race detector (see ROADMAP.md).
+verify:
+	go build ./...
+	go vet ./...
+	go test ./...
+	go test -race ./internal/experiment/...
+
+# Sequential-vs-parallel sweep benchmark (one full Quick() sweep each;
+# results are bit-identical, only the wall clock differs).
+bench-sweep:
+	go test -bench=ExperimentQuick -benchtime=1x -run='^$$' .
+
+.PHONY: verify bench-sweep

@@ -8,9 +8,11 @@ package netags_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"netags"
+	"netags/internal/experiment"
 )
 
 const benchTags = 3000
@@ -251,6 +253,32 @@ func BenchmarkAblationEstimators(b *testing.B) {
 	b.Run("GMLE", func(b *testing.B) { run(b, netags.EstimateGMLE) })
 	b.Run("LoF", func(b *testing.B) { run(b, netags.EstimateLoF) })
 }
+
+// benchSweep runs one full experiment.Run sweep on the Quick()
+// configuration (n = 10,000, r ∈ {2, 6, 10}, 3 trials) with the given
+// worker count. Sequential vs parallel report identical numbers; only the
+// wall clock differs. Run with `go test -bench=ExperimentQuick -benchtime=1x`
+// — one iteration is a full nine-deployment sweep (~15 s sequential).
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	cfg := experiment.Quick()
+	cfg.Workers = workers
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Run(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentQuickSequential is the Workers: 1 baseline of the
+// sweep runner.
+func BenchmarkExperimentQuickSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkExperimentQuickParallel fans the same sweep over all cores; the
+// speedup over the sequential baseline is the worker pool's payoff, with
+// bit-identical results (TestParallelMatchesSequential).
+func BenchmarkExperimentQuickParallel(b *testing.B) { benchSweep(b, 0) }
 
 // BenchmarkEstimationEndToEnd measures the full adaptive GMLE pipeline (the
 // operation a deployed system would actually run).

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 
 	"netags/internal/analysis"
 	"netags/internal/core"
+	"netags/internal/experiment"
 	"netags/internal/geom"
 	"netags/internal/gmle"
 	"netags/internal/topology"
@@ -25,20 +27,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(context.Background(), os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ccmanalyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ccmanalyze", flag.ContinueOnError)
 	var (
-		n      = fs.Int("n", 10000, "number of tags")
-		rList  = fs.String("r", "2,4,6,8,10", "comma-separated inter-tag ranges")
-		app    = fs.String("app", "trp", "application parameters: trp | gmle")
-		seed   = fs.Uint64("seed", 1, "deployment/request seed")
-		byTier = fs.Bool("tiers", false, "also print the per-tier energy breakdown (the load-balance view)")
+		n       = fs.Int("n", 10000, "number of tags")
+		rList   = fs.String("r", "2,4,6,8,10", "comma-separated inter-tag ranges")
+		app     = fs.String("app", "trp", "application parameters: trp | gmle")
+		seed    = fs.Uint64("seed", 1, "deployment/request seed")
+		byTier  = fs.Bool("tiers", false, "also print the per-tier energy breakdown (the load-balance view)")
+		workers = fs.Int("workers", 0, "parallel workers over r values (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,8 +68,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The deployment is built once and shared read-only; each r value's
+	// topology build + session is independent, so they fan out over the
+	// experiment package's worker pool and print in r order afterwards.
 	d := geom.NewUniformDisk(*n, 30, *seed)
-	for _, r := range rs {
+	out := make([]string, len(rs))
+	err = experiment.ParallelFor(ctx, *workers, len(rs), func(ctx context.Context, i int) error {
+		r := rs[i]
 		rg := topology.PaperRanges(r)
 		nw, err := topology.Build(d, 0, rg)
 		if err != nil {
@@ -88,7 +96,8 @@ func run(args []string) error {
 		if err := m.Validate(); err != nil {
 			return err
 		}
-		fmt.Printf("%4g  %2d/%-2d  %12.0f  %12d  %12.1f  %12.1f  %12.0f  %12.1f\n",
+		var b strings.Builder
+		fmt.Fprintf(&b, "%4g  %2d/%-2d  %12.0f  %12d  %12.1f  %12.1f  %12.0f  %12.1f\n",
 			r, m.Tiers(), nw.K,
 			m.ExecutionTimeSlots(), res.Clock.Total(),
 			m.AvgSentBits(), sum.AvgSent,
@@ -99,10 +108,18 @@ func run(args []string) error {
 			for k := 1; k <= nw.K; k++ {
 				ts := perTier[k]
 				predSent, predRecv := m.SentBits(k), m.ReceivedBits(k)
-				fmt.Printf("        tier %d (%5d tags): sent avg %7.1f max %5d (model %7.1f)  recv avg %9.1f max %7d (model %9.0f)\n",
+				fmt.Fprintf(&b, "        tier %d (%5d tags): sent avg %7.1f max %5d (model %7.1f)  recv avg %9.1f max %7d (model %9.0f)\n",
 					k, ts.Count, ts.AvgSent, ts.MaxSent, predSent, ts.AvgReceived, ts.MaxReceived, predRecv)
 			}
 		}
+		out[i] = b.String()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range out {
+		fmt.Print(s)
 	}
 	return nil
 }

@@ -1,26 +1,29 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunSmoke(t *testing.T) {
 	for _, app := range []string{"trp", "gmle"} {
-		if err := run([]string{"-n", "500", "-r", "6", "-app", app}); err != nil {
+		if err := run(context.Background(), []string{"-n", "500", "-r", "6", "-app", app}); err != nil {
 			t.Errorf("app %s: %v", app, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-app", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-app", "nope"}); err == nil {
 		t.Error("unknown app accepted")
 	}
-	if err := run([]string{"-r", "x"}); err == nil {
+	if err := run(context.Background(), []string{"-r", "x"}); err == nil {
 		t.Error("bad r list accepted")
 	}
 }
 
 func TestRunTierBreakdown(t *testing.T) {
-	if err := run([]string{"-n", "400", "-r", "6", "-tiers"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "400", "-r", "6", "-tiers"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,15 +6,22 @@
 //
 //	ccmtables -all                      # everything, scaled-down trials
 //	ccmtables -all -trials 100          # the paper's full 100 trials
+//	ccmtables -all -workers 8           # same numbers, 8 trial workers
 //	ccmtables -figure 4 -r 2,4,6,8,10
 //	ccmtables -table 3 -csv out.csv
 //	ccmtables -all -ablation            # CCM without the indicator vector
+//
+// Trials run in parallel over -workers goroutines (default: all cores);
+// every worker count reports bit-identical numbers, because trial seeds are
+// derived from the position (seed, r, trial), not from execution order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -22,13 +29,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C cancels the sweep instead of killing mid-write: the worker
+	// pool drains and the first context error surfaces here.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ccmtables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ccmtables", flag.ContinueOnError)
 	var (
 		n        = fs.Int("n", 10000, "number of tags")
@@ -44,9 +55,16 @@ func run(args []string) error {
 		loss     = fs.String("loss", "", "run the unreliable-channel sweep over these loss probabilities instead")
 		density  = fs.String("density", "", "run the population sweep over these n values instead")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
+		workers  = fs.Int("workers", 0, "parallel trial workers (0 = all cores, 1 = sequential; results are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Progress now flows as structured experiment.Progress events; the
+	// rendered line is the legacy format, so -quiet keeps its meaning.
+	observe := func(p experiment.Progress) { fmt.Fprintln(os.Stderr, p.String()) }
+	if *quiet {
+		observe = nil
 	}
 	if *density != "" {
 		values, err := parseFloats(*density)
@@ -61,13 +79,16 @@ func run(args []string) error {
 		for i, v := range values {
 			ns[i] = int(v)
 		}
-		res, err := experiment.RunDensitySweep(experiment.DensityConfig{
+		res, err := experiment.RunDensitySweepContext(ctx, experiment.DensityConfig{
+			BaseConfig: experiment.BaseConfig{
+				Radius:  30,
+				Trials:  *trials,
+				Seed:    *seed,
+				Workers: *workers,
+			},
 			NValues: ns,
-			Radius:  30,
 			R:       rs[0],
-			Trials:  *trials,
-			Seed:    *seed,
-		})
+		}, observe)
 		if err != nil {
 			return err
 		}
@@ -83,14 +104,17 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := experiment.RunLossSweep(experiment.LossConfig{
-			N:          *n,
-			Radius:     30,
+		res, err := experiment.RunLossSweepContext(ctx, experiment.LossConfig{
+			BaseConfig: experiment.BaseConfig{
+				N:       *n,
+				Radius:  30,
+				Trials:  *trials,
+				Seed:    *seed,
+				Workers: *workers,
+			},
 			R:          rs[0],
-			Trials:     *trials,
-			Seed:       *seed,
 			LossValues: values,
-		})
+		}, observe)
 		if err != nil {
 			return err
 		}
@@ -105,6 +129,7 @@ func run(args []string) error {
 	cfg.N = *n
 	cfg.Trials = *trials
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.DisableIndicatorVector = *ablation
 	var err error
 	if cfg.RValues, err = parseFloats(*rList); err != nil {
@@ -115,11 +140,7 @@ func run(args []string) error {
 		cfg.Protocols = append(cfg.Protocols, experiment.Protocol(strings.TrimSpace(p)))
 	}
 
-	progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
-	if *quiet {
-		progress = nil
-	}
-	res, err := experiment.Run(cfg, progress)
+	res, err := experiment.RunContext(ctx, cfg, observe)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,7 +29,7 @@ func TestParseFloats(t *testing.T) {
 
 func TestRunSmoke(t *testing.T) {
 	csv := filepath.Join(t.TempDir(), "out.csv")
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-n", "400", "-trials", "1", "-r", "6", "-all", "-quiet",
 		"-csv", csv,
 	})
@@ -45,28 +46,28 @@ func TestRunSmoke(t *testing.T) {
 }
 
 func TestRunBadFlags(t *testing.T) {
-	if err := run([]string{"-r", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-r", "nope"}); err == nil {
 		t.Fatal("bad r list accepted")
 	}
-	if err := run([]string{"-n", "100", "-trials", "1", "-r", "6", "-protocols", "bogus", "-quiet"}); err == nil {
+	if err := run(context.Background(), []string{"-n", "100", "-trials", "1", "-r", "6", "-protocols", "bogus", "-quiet"}); err == nil {
 		t.Fatal("bogus protocol accepted")
 	}
 }
 
 func TestRunLossMode(t *testing.T) {
-	if err := run([]string{"-n", "300", "-trials", "1", "-r", "6", "-loss", "0,0.5", "-quiet"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "300", "-trials", "1", "-r", "6", "-loss", "0,0.5", "-quiet"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-n", "300", "-trials", "1", "-r", "6", "-loss", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-n", "300", "-trials", "1", "-r", "6", "-loss", "bogus"}); err == nil {
 		t.Fatal("bad loss list accepted")
 	}
 }
 
 func TestRunDensityMode(t *testing.T) {
-	if err := run([]string{"-trials", "1", "-r", "6", "-density", "300,600", "-quiet"}); err != nil {
+	if err := run(context.Background(), []string{"-trials", "1", "-r", "6", "-density", "300,600", "-quiet"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-trials", "1", "-r", "6", "-density", "x"}); err == nil {
+	if err := run(context.Background(), []string{"-trials", "1", "-r", "6", "-density", "x"}); err == nil {
 		t.Fatal("bad density list accepted")
 	}
 }

@@ -1,12 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"netags/internal/geom"
 	"netags/internal/gmle"
-	"netags/internal/prng"
 	"netags/internal/sicp"
 	"netags/internal/stats"
 	"netags/internal/topology"
@@ -17,14 +18,15 @@ import (
 // paper, which fixes n = 10,000. CCM's air time is governed by the frame
 // size and tier count, not the population, while SICP's grows linearly with
 // the IDs it must haul; sweeping n makes that scaling visible.
+//
+// Radius, Trials, Seed, and Workers come from the embedded BaseConfig;
+// BaseConfig.N is ignored — NValues supplies the populations.
 type DensityConfig struct {
+	BaseConfig
 	// NValues are the populations to sweep.
 	NValues []int
-	// Radius and R mirror Config (paper geometry by default).
-	Radius float64
-	R      float64
-	Trials int
-	Seed   uint64
+	// R is the inter-tag range (paper geometry by default).
+	R float64
 }
 
 // DensityRow reports one population.
@@ -45,16 +47,37 @@ type DensityResults struct {
 	Rows   []DensityRow
 }
 
+// densityPoint is one population with its per-n derived frame sizes.
+type densityPoint struct {
+	n, gmleF, trpF int
+}
+
+// densityTrial is one deployment's slot counts.
+type densityTrial struct {
+	tiers           int
+	gmle, trp, sicp int64
+}
+
 // RunDensitySweep measures how each protocol's air time scales with the
-// population. Frame sizes are re-derived per n, exactly as the paper sizes
-// its frames for n = 10,000.
+// population.
+//
+// Deprecated: shim over RunDensitySweepContext; results are identical.
 func RunDensitySweep(cfg DensityConfig) (*DensityResults, error) {
-	if len(cfg.NValues) == 0 || cfg.Radius <= 0 || cfg.R <= 0 || cfg.Trials <= 0 {
+	return RunDensitySweepContext(context.Background(), cfg, nil)
+}
+
+// RunDensitySweepContext runs the population sweep over cfg.Workers
+// goroutines. Frame sizes are re-derived per n, exactly as the paper sizes
+// its frames for n = 10,000.
+func RunDensitySweepContext(ctx context.Context, cfg DensityConfig, observe func(Progress)) (*DensityResults, error) {
+	if err := cfg.validate(false); err != nil {
+		return nil, err
+	}
+	if len(cfg.NValues) == 0 || cfg.R <= 0 {
 		return nil, fmt.Errorf("experiment: incomplete density config %+v", cfg)
 	}
-	res := &DensityResults{Config: cfg}
-	seeds := prng.New(cfg.Seed)
-	for _, n := range cfg.NValues {
+	points := make([]densityPoint, len(cfg.NValues))
+	for i, n := range cfg.NValues {
 		if n <= 0 {
 			return nil, fmt.Errorf("experiment: population %d must be positive", n)
 		}
@@ -70,30 +93,52 @@ func RunDensitySweep(cfg DensityConfig) (*DensityResults, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := DensityRow{N: n}
-		for trial := 0; trial < cfg.Trials; trial++ {
-			d := geom.NewUniformDisk(n, cfg.Radius, seeds.Uint64())
+		points[i] = densityPoint{n: n, gmleF: gmleF, trpF: trpF}
+	}
+
+	grid, err := RunSweep(ctx, Sweep[densityPoint, densityTrial]{
+		Base:   cfg.BaseConfig,
+		Points: points,
+		Key:    func(p densityPoint) uint64 { return IntKey(p.n) },
+		Run: func(ctx context.Context, p densityPoint, trial int, seeds TrialSeeds) (densityTrial, error) {
+			d := geom.NewUniformDisk(p.n, cfg.Radius, seeds.Deploy)
 			nw, err := topology.Build(d, 0, topology.PaperRanges(cfg.R))
 			if err != nil {
-				return nil, err
+				return densityTrial{}, fmt.Errorf("n=%d trial %d: %w", p.n, trial, err)
 			}
-			row.Tiers.Add(float64(nw.K))
-			seed := seeds.Uint64()
-			gm, _, err := runProtocolSized(GMLECCM, nw, gmleF, gmle.SamplingFor(gmleF, float64(n)), seed)
+			gm, _, err := runProtocolSized(GMLECCM, nw, p.gmleF, gmle.SamplingFor(p.gmleF, float64(p.n)), seeds.Proto)
 			if err != nil {
-				return nil, err
+				return densityTrial{}, err
 			}
-			tr, _, err := runProtocolSized(TRPCCM, nw, trpF, 1, seed)
+			tr, _, err := runProtocolSized(TRPCCM, nw, p.trpF, 1, seeds.Proto)
 			if err != nil {
-				return nil, err
+				return densityTrial{}, err
 			}
-			si, _, err := runProtocolSized(SICP, nw, 0, 0, seed)
+			si, _, err := runProtocolSized(SICP, nw, 0, 0, seeds.Proto)
 			if err != nil {
-				return nil, err
+				return densityTrial{}, err
 			}
-			row.GMLESlots.Add(float64(gm))
-			row.TRPSlots.Add(float64(tr))
-			row.SICPSlots.Add(float64(si))
+			return densityTrial{tiers: nw.K, gmle: gm, trp: tr, sicp: si}, nil
+		},
+		Event: func(p densityPoint, trial int, dt densityTrial, elapsed time.Duration) Progress {
+			return Progress{
+				Sweep: "density", N: p.n, Trial: trial, Trials: cfg.Trials,
+				Protocols: []Protocol{GMLECCM, TRPCCM, SICP}, Tiers: dt.tiers, Elapsed: elapsed,
+			}
+		},
+	}, observe)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DensityResults{Config: cfg}
+	for pi, p := range points {
+		row := DensityRow{N: p.n}
+		for _, dt := range grid[pi] {
+			row.Tiers.Add(float64(dt.tiers))
+			row.GMLESlots.Add(float64(dt.gmle))
+			row.TRPSlots.Add(float64(dt.trp))
+			row.SICPSlots.Add(float64(dt.sicp))
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -2,18 +2,27 @@
 // of the paper's evaluation (§VI): it sweeps the inter-tag range r, runs the
 // three protocols over freshly sampled deployments, aggregates per-trial
 // metrics, and renders the paper's tables.
+// Trials are fanned out over a worker pool (see runner.go) and every
+// trial's seeds are position-derived: the deployment and protocol seeds of
+// trial t at sweep point p are prng.DeriveSeed(cfg.Seed, key(p), t, stream),
+// not draws from a shared generator in loop order. That makes the reported
+// numbers independent of scheduling — `Workers: 1` and `Workers: N` produce
+// bit-identical Results — and it means inserting, skipping, or reordering
+// sweep points cannot reshuffle which deployment a given (point, trial)
+// gets. TestSeedDerivationPinned pins the exact derivation.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"netags/internal/core"
 	"netags/internal/energy"
 	"netags/internal/geom"
 	"netags/internal/gmle"
-	"netags/internal/prng"
 	"netags/internal/sicp"
 	"netags/internal/stats"
 	"netags/internal/topology"
@@ -32,18 +41,12 @@ const (
 )
 
 // Config parameterizes a sweep. The zero value is not valid; start from
-// Paper() or Quick().
+// Paper() or Quick(). N, Radius, Trials, Seed, and Workers live in the
+// embedded BaseConfig shared with the other sweeps.
 type Config struct {
-	// N is the number of deployed tags.
-	N int
-	// Radius is the deployment disk radius in meters.
-	Radius float64
+	BaseConfig
 	// RValues are the inter-tag ranges to sweep.
 	RValues []float64
-	// Trials is the number of independent deployments per r.
-	Trials int
-	// Seed makes the whole sweep reproducible.
-	Seed uint64
 	// GMLEFrame / TRPFrame are the application frame sizes. GMLE's sampling
 	// probability is set to 1.59·f/N as in §VI-B.
 	GMLEFrame int
@@ -61,11 +64,13 @@ type Config struct {
 // disk, r swept 2–10 m, 100 trials.
 func Paper() Config {
 	return Config{
-		N:         10000,
-		Radius:    30,
+		BaseConfig: BaseConfig{
+			N:      10000,
+			Radius: 30,
+			Trials: 100,
+			Seed:   1,
+		},
 		RValues:   []float64{2, 3, 4, 5, 6, 7, 8, 9, 10},
-		Trials:    100,
-		Seed:      1,
 		GMLEFrame: gmle.PaperFrameSize,
 		TRPFrame:  trp.PaperFrameSize,
 		Protocols: []Protocol{SICP, GMLECCM, TRPCCM},
@@ -104,11 +109,44 @@ type Results struct {
 	Rows   []Row
 }
 
-// Run executes the sweep. progress, if non-nil, receives one line per
-// completed (r, trial) pair.
+// Run executes the sweep. progress, if non-nil, receives one rendered line
+// per completed (r, trial) pair.
+//
+// Deprecated: Run is a compatibility shim over RunContext. New callers
+// should use RunContext, which supports cancellation and structured
+// Progress events. Results are identical either way.
 func Run(cfg Config, progress func(string)) (*Results, error) {
-	if cfg.N <= 0 || cfg.Radius <= 0 || cfg.Trials <= 0 || len(cfg.RValues) == 0 {
-		return nil, fmt.Errorf("experiment: incomplete config %+v", cfg)
+	var observe func(Progress)
+	if progress != nil {
+		observe = func(p Progress) { progress(p.String()) }
+	}
+	return RunContext(context.Background(), cfg, observe)
+}
+
+// rangeTrial is one deployment's measurements, carried out of the worker
+// pool and reduced into Row accumulators in grid order afterwards.
+type rangeTrial struct {
+	tiers  int
+	protos []protoObs // indexed like the validated protocol list
+}
+
+// protoObs is one protocol's raw observations for one trial.
+type protoObs struct {
+	slots                int64
+	maxSent, maxReceived int64
+	avgSent, avgReceived float64
+}
+
+// RunContext executes the sweep, fanning the (r, trial) grid out over
+// cfg.Workers goroutines (0 = GOMAXPROCS). Results are bit-identical for
+// every worker count. observe, if non-nil, receives one Progress event per
+// completed trial, serialized but in completion order.
+func RunContext(ctx context.Context, cfg Config, observe func(Progress)) (*Results, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	if len(cfg.RValues) == 0 {
+		return nil, fmt.Errorf("experiment: no r values in config %+v", cfg)
 	}
 	if cfg.GMLEFrame <= 0 || cfg.TRPFrame <= 0 {
 		return nil, fmt.Errorf("experiment: frame sizes must be positive")
@@ -125,39 +163,60 @@ func Run(cfg Config, progress func(string)) (*Results, error) {
 		}
 	}
 
+	grid, err := RunSweep(ctx, Sweep[float64, rangeTrial]{
+		Base:   cfg.BaseConfig,
+		Points: cfg.RValues,
+		Key:    FloatKey,
+		Run: func(ctx context.Context, r float64, trial int, seeds TrialSeeds) (rangeTrial, error) {
+			d := geom.NewUniformDisk(cfg.N, cfg.Radius, seeds.Deploy)
+			nw, err := topology.Build(d, 0, topology.PaperRanges(r))
+			if err != nil {
+				return rangeTrial{}, fmt.Errorf("r=%v trial %d: %w", r, trial, err)
+			}
+			in := func(i int) bool { return nw.Tier[i] > 0 }
+			tr := rangeTrial{tiers: nw.K, protos: make([]protoObs, len(protocols))}
+			for pi, p := range protocols {
+				clock, meter, err := runProtocol(p, nw, cfg, seeds.Proto)
+				if err != nil {
+					return rangeTrial{}, fmt.Errorf("r=%v trial %d %s: %w", r, trial, p, err)
+				}
+				sum := meter.Summarize(in)
+				tr.protos[pi] = protoObs{
+					slots:       clock.Total(),
+					maxSent:     sum.MaxSent,
+					maxReceived: sum.MaxReceived,
+					avgSent:     sum.AvgSent,
+					avgReceived: sum.AvgReceived,
+				}
+			}
+			return tr, nil
+		},
+		Event: func(r float64, trial int, tr rangeTrial, elapsed time.Duration) Progress {
+			return Progress{
+				Sweep: "range", R: r, Trial: trial, Trials: cfg.Trials,
+				Protocols: protocols, Tiers: tr.tiers, Elapsed: elapsed,
+			}
+		},
+	}, observe)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Results{Config: cfg}
-	seeds := prng.New(cfg.Seed)
-	for _, r := range cfg.RValues {
+	for pi, r := range cfg.RValues {
 		row := Row{R: r, ByProtocol: make(map[Protocol]*Metrics, len(protocols))}
 		for _, p := range protocols {
 			row.ByProtocol[p] = &Metrics{}
 		}
-		for trial := 0; trial < cfg.Trials; trial++ {
-			deploySeed := seeds.Uint64()
-			protoSeed := seeds.Uint64()
-			d := geom.NewUniformDisk(cfg.N, cfg.Radius, deploySeed)
-			nw, err := topology.Build(d, 0, topology.PaperRanges(r))
-			if err != nil {
-				return nil, fmt.Errorf("r=%v trial %d: %w", r, trial, err)
-			}
-			row.Tiers.Add(float64(nw.K))
-			in := func(i int) bool { return nw.Tier[i] > 0 }
-
-			for _, p := range protocols {
-				clock, meter, err := runProtocol(p, nw, cfg, protoSeed)
-				if err != nil {
-					return nil, fmt.Errorf("r=%v trial %d %s: %w", r, trial, p, err)
-				}
-				sum := meter.Summarize(in)
-				m := row.ByProtocol[p]
-				m.Slots.Add(float64(clock.Total()))
-				m.MaxSent.Add(float64(sum.MaxSent))
-				m.MaxReceived.Add(float64(sum.MaxReceived))
-				m.AvgSent.Add(sum.AvgSent)
-				m.AvgReceived.Add(sum.AvgReceived)
-			}
-			if progress != nil {
-				progress(fmt.Sprintf("r=%g trial %d/%d done (K=%d)", r, trial+1, cfg.Trials, nw.K))
+		for _, tr := range grid[pi] {
+			row.Tiers.Add(float64(tr.tiers))
+			for i, p := range protocols {
+				o, m := tr.protos[i], row.ByProtocol[p]
+				m.Slots.Add(float64(o.slots))
+				m.MaxSent.Add(float64(o.maxSent))
+				m.MaxReceived.Add(float64(o.maxReceived))
+				m.AvgSent.Add(o.avgSent)
+				m.AvgReceived.Add(o.avgReceived)
 			}
 		}
 		res.Rows = append(res.Rows, row)

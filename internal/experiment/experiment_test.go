@@ -125,10 +125,12 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
+	base := BaseConfig{N: 10, Radius: 30, Trials: 1}
 	bad := []Config{
 		{},
-		{N: 10, Radius: 30, Trials: 1, RValues: []float64{6}},                                                            // missing frames
-		{N: 10, Radius: 30, Trials: 1, RValues: []float64{6}, GMLEFrame: 8, TRPFrame: 8, Protocols: []Protocol{"bogus"}}, // unknown protocol
+		{BaseConfig: base, RValues: []float64{6}},                                                                             // missing frames
+		{BaseConfig: base, RValues: []float64{6}, GMLEFrame: 8, TRPFrame: 8, Protocols: []Protocol{"bogus"}},                  // unknown protocol
+		{BaseConfig: BaseConfig{N: 10, Radius: 30, Trials: 1, Workers: -1}, RValues: []float64{6}, GMLEFrame: 8, TRPFrame: 8}, // negative workers
 	}
 	for i, cfg := range bad {
 		if _, err := Run(cfg, nil); err == nil {

@@ -1,12 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"netags/internal/core"
 	"netags/internal/geom"
-	"netags/internal/prng"
 	"netags/internal/stats"
 	"netags/internal/topology"
 	"netags/internal/trp"
@@ -17,13 +18,12 @@ import (
 // guarantee silently depends on that). Loss turns busy slots idle, which
 // CCM cannot distinguish from absence: delivery degrades and TRP starts
 // accusing present tags.
+//
+// N, Radius, Trials, Seed, and Workers come from the embedded BaseConfig.
 type LossConfig struct {
-	// N, Radius, R and Trials mirror Config.
-	N      int
-	Radius float64
-	R      float64
-	Trials int
-	Seed   uint64
+	BaseConfig
+	// R is the inter-tag range.
+	R float64
 	// LossValues are the per-reception loss probabilities to sweep.
 	LossValues []float64
 	// FrameSize is the TRP frame (0 = derive for N with the paper's
@@ -51,24 +51,48 @@ type LossResults struct {
 	Rows   []LossRow
 }
 
+// lossTrial is one deployment's delivery and accusation measurements.
+type lossTrial struct {
+	tiers       int
+	delivery    float64
+	hasDelivery bool
+	falsePos    float64
+	rounds      float64
+}
+
 // RunLossSweep measures CCM delivery and TRP false accusations as the
 // channel degrades, with nothing actually missing.
+//
+// Deprecated: shim over RunLossSweepContext; results are identical.
 func RunLossSweep(cfg LossConfig) (*LossResults, error) {
-	if cfg.N <= 0 || cfg.Radius <= 0 || cfg.Trials <= 0 || cfg.R <= 0 || len(cfg.LossValues) == 0 {
+	return RunLossSweepContext(context.Background(), cfg, nil)
+}
+
+// RunLossSweepContext runs the unreliable-channel sweep over cfg.Workers
+// goroutines. The channel's coin flips draw from the trial's Aux seed
+// stream, so every worker count observes the same losses.
+func RunLossSweepContext(ctx context.Context, cfg LossConfig, observe func(Progress)) (*LossResults, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	if cfg.R <= 0 || len(cfg.LossValues) == 0 {
 		return nil, fmt.Errorf("experiment: incomplete loss config %+v", cfg)
 	}
-	res := &LossResults{Config: cfg}
-	seeds := prng.New(cfg.Seed)
 	for _, loss := range cfg.LossValues {
 		if loss < 0 || loss >= 1 {
 			return nil, fmt.Errorf("experiment: loss probability %v outside [0,1)", loss)
 		}
-		row := LossRow{Loss: loss}
-		for trial := 0; trial < cfg.Trials; trial++ {
-			d := geom.NewUniformDisk(cfg.N, cfg.Radius, seeds.Uint64())
+	}
+
+	grid, err := RunSweep(ctx, Sweep[float64, lossTrial]{
+		Base:   cfg.BaseConfig,
+		Points: cfg.LossValues,
+		Key:    FloatKey,
+		Run: func(ctx context.Context, loss float64, trial int, seeds TrialSeeds) (lossTrial, error) {
+			d := geom.NewUniformDisk(cfg.N, cfg.Radius, seeds.Deploy)
 			nw, err := topology.Build(d, 0, topology.PaperRanges(cfg.R))
 			if err != nil {
-				return nil, err
+				return lossTrial{}, fmt.Errorf("loss=%v trial %d: %w", loss, trial, err)
 			}
 			inventory := make([]uint64, 0, nw.Reachable)
 			for i := 0; i < nw.N(); i++ {
@@ -84,40 +108,62 @@ func RunLossSweep(cfg LossConfig) (*LossResults, error) {
 				}
 				f, err = trp.FrameSizeFor(len(inventory), tol, 0.95)
 				if err != nil {
-					return nil, err
+					return lossTrial{}, err
 				}
 			}
-			seed := seeds.Uint64()
 			cc := core.Config{
 				FrameSize: f,
-				Seed:      seed,
+				Seed:      seeds.Proto,
 				Sampling:  1,
 				LossProb:  loss,
-				LossSeed:  seeds.Uint64(),
+				LossSeed:  seeds.Aux,
 			}
 			got, err := core.RunSession(nw, cc)
 			if err != nil {
-				return nil, err
+				return lossTrial{}, err
 			}
 			truthCfg := cc
 			truthCfg.LossProb = 0
 			truth, err := core.DirectBitmap(nw, truthCfg)
 			if err != nil {
-				return nil, err
+				return lossTrial{}, err
 			}
+			lt := lossTrial{tiers: nw.K, rounds: float64(got.Rounds)}
 			if truth.Count() > 0 {
-				row.Delivery.Add(float64(got.Bitmap.Count()) / float64(truth.Count()))
+				lt.delivery = float64(got.Bitmap.Count()) / float64(truth.Count())
+				lt.hasDelivery = true
 			}
-			plan, err := trp.NewPlan(inventory, f, seed)
+			plan, err := trp.NewPlan(inventory, f, seeds.Proto)
 			if err != nil {
-				return nil, err
+				return lossTrial{}, err
 			}
 			det, err := plan.Detect(got.Bitmap)
 			if err != nil {
-				return nil, err
+				return lossTrial{}, err
 			}
-			row.FalsePositives.Add(float64(len(det.Suspects)))
-			row.Rounds.Add(float64(got.Rounds))
+			lt.falsePos = float64(len(det.Suspects))
+			return lt, nil
+		},
+		Event: func(loss float64, trial int, lt lossTrial, elapsed time.Duration) Progress {
+			return Progress{
+				Sweep: "loss", R: cfg.R, Loss: loss, Trial: trial, Trials: cfg.Trials,
+				Protocols: []Protocol{TRPCCM}, Tiers: lt.tiers, Elapsed: elapsed,
+			}
+		},
+	}, observe)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &LossResults{Config: cfg}
+	for pi, loss := range cfg.LossValues {
+		row := LossRow{Loss: loss}
+		for _, lt := range grid[pi] {
+			if lt.hasDelivery {
+				row.Delivery.Add(lt.delivery)
+			}
+			row.FalsePositives.Add(lt.falsePos)
+			row.Rounds.Add(lt.rounds)
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -7,11 +7,8 @@ import (
 
 func TestRunLossSweep(t *testing.T) {
 	res, err := RunLossSweep(LossConfig{
-		N:          800,
-		Radius:     30,
+		BaseConfig: BaseConfig{N: 800, Radius: 30, Trials: 3, Seed: 1},
 		R:          6,
-		Trials:     3,
-		Seed:       1,
 		LossValues: []float64{0, 0.3, 0.8},
 	})
 	if err != nil {
@@ -47,7 +44,8 @@ func TestRunLossSweepValidation(t *testing.T) {
 		t.Error("empty config accepted")
 	}
 	if _, err := RunLossSweep(LossConfig{
-		N: 10, Radius: 30, R: 6, Trials: 1, LossValues: []float64{1.5},
+		BaseConfig: BaseConfig{N: 10, Radius: 30, Trials: 1},
+		R:          6, LossValues: []float64{1.5},
 	}); err == nil {
 		t.Error("loss >= 1 accepted")
 	}
@@ -55,11 +53,9 @@ func TestRunLossSweepValidation(t *testing.T) {
 
 func TestRunDensitySweep(t *testing.T) {
 	res, err := RunDensitySweep(DensityConfig{
-		NValues: []int{500, 2000},
-		Radius:  30,
-		R:       6,
-		Trials:  2,
-		Seed:    3,
+		BaseConfig: BaseConfig{Radius: 30, Trials: 2, Seed: 3},
+		NValues:    []int{500, 2000},
+		R:          6,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +84,10 @@ func TestRunDensitySweepValidation(t *testing.T) {
 	if _, err := RunDensitySweep(DensityConfig{}); err == nil {
 		t.Error("empty config accepted")
 	}
-	if _, err := RunDensitySweep(DensityConfig{NValues: []int{0}, Radius: 30, R: 6, Trials: 1}); err == nil {
+	if _, err := RunDensitySweep(DensityConfig{
+		BaseConfig: BaseConfig{Radius: 30, Trials: 1},
+		NValues:    []int{0}, R: 6,
+	}); err == nil {
 		t.Error("zero population accepted")
 	}
 }

@@ -1,0 +1,260 @@
+// The deterministic parallel sweep runner. Every sweep in this package —
+// the main r sweep, the population sweep, the loss sweep — is a grid of
+// independent (point, trial) work items; this file fans that grid out over a
+// bounded worker pool while keeping the reported numbers bit-identical to a
+// sequential run.
+//
+// Determinism rests on two rules:
+//
+//  1. Seeds are position-derived, never drawn in loop order. Each work
+//     item's seeds come from prng.DeriveSeed(base, pointKey, trial, stream),
+//     so the schedule cannot influence which deployment a trial gets.
+//  2. Aggregation is an ordered reduce. Workers write into a per-trial
+//     result slice (distinct memory per item, no locks), and the caller
+//     folds it into stats.Sample accumulators in grid order afterwards.
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netags/internal/prng"
+)
+
+// BaseConfig carries the fields shared by every sweep in this package.
+// Embed it in a sweep-specific config and validate with its methods.
+type BaseConfig struct {
+	// N is the number of deployed tags. Sweeps that vary the population
+	// (DensityConfig) ignore it.
+	N int
+	// Radius is the deployment disk radius in meters.
+	Radius float64
+	// Trials is the number of independent deployments per sweep point.
+	Trials int
+	// Seed makes the whole sweep reproducible: every trial's seeds are
+	// derived from (Seed, point, trial), independent of execution order.
+	Seed uint64
+	// Workers bounds the goroutines executing work items. 0 means
+	// runtime.GOMAXPROCS(0); 1 runs the sequential path in the calling
+	// goroutine. Any value produces bit-identical results.
+	Workers int
+}
+
+// workers resolves the effective pool size.
+func (c BaseConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// validate checks the shared fields. Sweeps that ignore N pass needN=false.
+func (c BaseConfig) validate(needN bool) error {
+	if needN && c.N <= 0 {
+		return fmt.Errorf("experiment: population N must be positive, got %d", c.N)
+	}
+	if c.Radius <= 0 {
+		return fmt.Errorf("experiment: radius must be positive, got %g", c.Radius)
+	}
+	if c.Trials <= 0 {
+		return fmt.Errorf("experiment: trials must be positive, got %d", c.Trials)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiment: workers must be >= 0, got %d", c.Workers)
+	}
+	return nil
+}
+
+// TrialSeeds are the position-derived seeds of one (point, trial) work
+// item. Deploy seeds the deployment sampling, Proto the protocol randomness
+// (request seeds, backoff draws), and Aux any extra stream a sweep needs
+// (the loss sweep's channel coin flips).
+type TrialSeeds struct {
+	Deploy uint64
+	Proto  uint64
+	Aux    uint64
+}
+
+// SeedsFor derives the seeds of one work item from the sweep seed, the
+// point key, and the trial index. It is exported so tests can pin the exact
+// derivation: changing it silently reshuffles every reported deployment.
+func SeedsFor(base, pointKey uint64, trial int) TrialSeeds {
+	return TrialSeeds{
+		Deploy: prng.DeriveSeed(base, pointKey, uint64(trial), 0),
+		Proto:  prng.DeriveSeed(base, pointKey, uint64(trial), 1),
+		Aux:    prng.DeriveSeed(base, pointKey, uint64(trial), 2),
+	}
+}
+
+// FloatKey and IntKey fold sweep points into the seed derivation.
+func FloatKey(v float64) uint64 { return math.Float64bits(v) }
+
+// IntKey folds an integer sweep point into the seed derivation.
+func IntKey(v int) uint64 { return uint64(v) }
+
+// Progress is one structured progress event, emitted after a work item
+// completes. It replaces the free-form func(string) callback: consumers get
+// the sweep coordinates, the deployment's tier count, and the wall time
+// instead of a pre-rendered line. String renders the legacy line.
+type Progress struct {
+	// Sweep labels the producing sweep: "range", "density", or "loss".
+	Sweep string
+	// R is the inter-tag range of the work item (range and loss sweeps).
+	R float64
+	// N is the population of the work item (density sweep; 0 otherwise).
+	N int
+	// Loss is the loss probability of the work item (loss sweep).
+	Loss float64
+	// Trial is the 0-based trial index; Trials the total per point.
+	Trial  int
+	Trials int
+	// Protocols lists the protocols executed in this work item.
+	Protocols []Protocol
+	// Tiers is the tier count of the trial's deployment.
+	Tiers int
+	// Elapsed is the wall time the work item took.
+	Elapsed time.Duration
+}
+
+// String renders the event in the legacy progress-line format.
+func (p Progress) String() string {
+	switch p.Sweep {
+	case "density":
+		return fmt.Sprintf("n=%d trial %d/%d done (K=%d)", p.N, p.Trial+1, p.Trials, p.Tiers)
+	case "loss":
+		return fmt.Sprintf("loss=%g trial %d/%d done (K=%d)", p.Loss, p.Trial+1, p.Trials, p.Tiers)
+	default:
+		return fmt.Sprintf("r=%g trial %d/%d done (K=%d)", p.R, p.Trial+1, p.Trials, p.Tiers)
+	}
+}
+
+// Sweep describes a grid of independent work items: len(Points) ×
+// Base.Trials. It is the single entry every sweep in this package adapts
+// to; Run executes one work item and must be safe to call concurrently.
+type Sweep[P, T any] struct {
+	Base   BaseConfig
+	Points []P
+	// Key folds a point into the seed derivation. Distinct points should
+	// map to distinct keys (FloatKey / IntKey cover the common cases).
+	Key func(P) uint64
+	// Run executes one work item. It must not retain or mutate shared
+	// state: all randomness comes from seeds, all output is the return.
+	Run func(ctx context.Context, point P, trial int, seeds TrialSeeds) (T, error)
+	// Event, if non-nil, describes a completed work item as a Progress
+	// event for the observer passed to RunSweep.
+	Event func(point P, trial int, result T, elapsed time.Duration) Progress
+}
+
+// RunSweep executes every (point, trial) work item of s over a worker pool
+// of Base.Workers goroutines and returns the results in grid order:
+// out[i][t] is point i's trial t. Results are bit-identical for every
+// worker count, including 1 (the sequential path). observe, if non-nil,
+// receives one Progress event per completed work item; events are
+// serialized but arrive in completion order, which under parallelism is not
+// grid order. The first error (or ctx cancellation) stops the sweep.
+func RunSweep[P, T any](ctx context.Context, s Sweep[P, T], observe func(Progress)) ([][]T, error) {
+	if len(s.Points) == 0 {
+		return nil, fmt.Errorf("experiment: sweep has no points")
+	}
+	if s.Run == nil || s.Key == nil {
+		return nil, fmt.Errorf("experiment: sweep needs Run and Key")
+	}
+	if err := s.Base.validate(false); err != nil {
+		return nil, err
+	}
+	trials := s.Base.Trials
+	results := make([][]T, len(s.Points))
+	for i := range results {
+		results[i] = make([]T, trials)
+	}
+	var mu sync.Mutex // serializes observe
+	item := func(ctx context.Context, idx int) error {
+		pi, trial := idx/trials, idx%trials
+		point := s.Points[pi]
+		start := time.Now()
+		out, err := s.Run(ctx, point, trial, SeedsFor(s.Base.Seed, s.Key(point), trial))
+		if err != nil {
+			return err
+		}
+		results[pi][trial] = out
+		if observe != nil && s.Event != nil {
+			ev := s.Event(point, trial, out, time.Since(start))
+			mu.Lock()
+			observe(ev)
+			mu.Unlock()
+		}
+		return nil
+	}
+	if err := ParallelFor(ctx, s.Base.workers(), len(s.Points)*trials, item); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ParallelFor runs body(i) for every i in [0, n) over a pool of workers
+// goroutines (0 means GOMAXPROCS). workers == 1 runs in the calling
+// goroutine in index order. The first error cancels the remaining work and
+// is returned; a canceled ctx surfaces as its context error.
+func ParallelFor(ctx context.Context, workers, n int, body func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := body(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := body(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

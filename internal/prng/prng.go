@@ -69,6 +69,21 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64() ^ 0x5851f42d4c957f2d)
 }
 
+// DeriveSeed derives the seed of an independent stream from a base seed and
+// the position coordinates of a work item — typically (sweep point, trial
+// index, stream index). Unlike drawing seeds from one shared Source in loop
+// order, the result depends only on (base, coords): reordering, skipping, or
+// parallelizing the enclosing loops cannot reshuffle which seed a given
+// trial receives. The experiment harness keys every deployment and protocol
+// run this way so parallel sweeps stay bit-identical to sequential ones.
+func DeriveSeed(base uint64, coords ...uint64) uint64 {
+	x := base ^ 0x6a09e667f3bcc909 // golden-ratio offset keeps base 0 usable
+	for _, c := range coords {
+		x = HashID(c, x)
+	}
+	return x
+}
+
 // HashID mixes a 96-bit tag ID (truncated here to 64 bits of identifier
 // space, which is far beyond any simulated population) with a request seed.
 // The result is a uniform 64-bit value that both the tag and the reader can

@@ -204,3 +204,43 @@ func BenchmarkSlotOf(b *testing.B) {
 		_ = SlotOf(uint64(i), 42, 3228)
 	}
 }
+
+// TestDeriveSeedPositional: the derived seed is a pure function of
+// (base, coords) — repeatable, sensitive to every coordinate, and sensitive
+// to coordinate order. This is what lets the experiment harness hand out
+// per-trial seeds independent of loop scheduling.
+func TestDeriveSeedPositional(t *testing.T) {
+	a := DeriveSeed(1, 6, 0, 0)
+	if a != DeriveSeed(1, 6, 0, 0) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	distinct := []uint64{
+		a,
+		DeriveSeed(2, 6, 0, 0), // base
+		DeriveSeed(1, 7, 0, 0), // point
+		DeriveSeed(1, 6, 1, 0), // trial
+		DeriveSeed(1, 6, 0, 1), // stream
+		DeriveSeed(1, 0, 6, 0), // coordinate order
+		DeriveSeed(0),          // degenerate base
+	}
+	seen := map[uint64]int{}
+	for i, v := range distinct {
+		if j, dup := seen[v]; dup {
+			t.Fatalf("cases %d and %d collide on %#x", j, i, v)
+		}
+		seen[v] = i
+	}
+}
+
+// TestDeriveSeedSpread: seeds derived for consecutive trials must not be
+// correlated in their low bits (they seed splitmix64 Sources directly).
+func TestDeriveSeedSpread(t *testing.T) {
+	const trials = 4096
+	ones := 0
+	for trial := uint64(0); trial < trials; trial++ {
+		ones += int(DeriveSeed(1, 6, trial, 0) & 1)
+	}
+	if ones < trials/2-3*32 || ones > trials/2+3*32 {
+		t.Errorf("low-bit ones = %d/%d, want ~%d", ones, trials, trials/2)
+	}
+}
