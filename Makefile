@@ -11,4 +11,11 @@ verify:
 bench-sweep:
 	go test -bench=ExperimentQuick -benchtime=1x -run='^$$' .
 
-.PHONY: verify bench-sweep
+# Tracing-overhead benchmark: a CCM session with a nil tracer versus a JSONL
+# tracer. The raw `go test -bench` lines land in BENCH_observability.json
+# (recover a benchstat input with `jq -r '.benchmarks[].raw'`).
+bench:
+	go test -bench=SessionTracer -benchmem -count=5 -run='^$$' ./internal/core/ \
+		| tee /dev/stderr | go run ./internal/tools/benchjson > BENCH_observability.json
+
+.PHONY: verify bench bench-sweep

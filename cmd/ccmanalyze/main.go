@@ -22,6 +22,7 @@ import (
 	"netags/internal/experiment"
 	"netags/internal/geom"
 	"netags/internal/gmle"
+	"netags/internal/obs"
 	"netags/internal/topology"
 	"netags/internal/trp"
 )
@@ -36,16 +37,31 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ccmanalyze", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", 10000, "number of tags")
-		rList   = fs.String("r", "2,4,6,8,10", "comma-separated inter-tag ranges")
-		app     = fs.String("app", "trp", "application parameters: trp | gmle")
-		seed    = fs.Uint64("seed", 1, "deployment/request seed")
-		byTier  = fs.Bool("tiers", false, "also print the per-tier energy breakdown (the load-balance view)")
-		workers = fs.Int("workers", 0, "parallel workers over r values (0 = all cores)")
+		n        = fs.Int("n", 10000, "number of tags")
+		rList    = fs.String("r", "2,4,6,8,10", "comma-separated inter-tag ranges")
+		app      = fs.String("app", "trp", "application parameters: trp | gmle")
+		seed     = fs.Uint64("seed", 1, "deployment/request seed")
+		byTier   = fs.Bool("tiers", false, "also print the per-tier energy breakdown (the load-balance view)")
+		workers  = fs.Int("workers", 0, "parallel workers over r values (0 = all cores)")
+		traceOut = fs.String("trace-out", "", "write every session's event stream to this JSONL file")
+		metrics  = fs.String("metrics", "", "print a run metrics summary: text | json")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	instr, err := obs.StartInstrumentation(*traceOut, *metrics, *cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			instr.Close(os.Stdout)
+		}
+	}()
 
 	var frame int
 	sampling := 1.0
@@ -80,7 +96,12 @@ func run(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := core.RunSession(nw, core.Config{FrameSize: frame, Seed: *seed, Sampling: sampling})
+		// Reader labels the trace stream with the r index, so events from
+		// concurrent r values stay distinguishable in the JSONL output.
+		res, err := core.RunSession(nw, core.Config{
+			FrameSize: frame, Seed: *seed, Sampling: sampling,
+			Tracer: instr.Tracer(), Reader: i,
+		})
 		if err != nil {
 			return err
 		}
@@ -121,7 +142,8 @@ func run(ctx context.Context, args []string) error {
 	for _, s := range out {
 		fmt.Print(s)
 	}
-	return nil
+	closed = true
+	return instr.Close(os.Stdout)
 }
 
 func parseFloats(s string) ([]float64, error) {

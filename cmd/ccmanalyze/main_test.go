@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -25,5 +29,38 @@ func TestRunErrors(t *testing.T) {
 func TestRunTierBreakdown(t *testing.T) {
 	if err := run(context.Background(), []string{"-n", "400", "-r", "6", "-tiers"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunObservabilityFlags checks the trace stream parses and carries the
+// r-index as the reader label.
+func TestRunObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run(context.Background(), []string{
+		"-n", "400", "-r", "4,8", "-trace-out", trace, "-metrics", "text", "-memprofile", mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawReader1 := false
+	for i, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		if !json.Valid(line) {
+			t.Fatalf("trace line %d is not valid JSON: %s", i+1, line)
+		}
+		if bytes.Contains(line, []byte(`"reader":1`)) {
+			sawReader1 = true
+		}
+	}
+	if !sawReader1 {
+		t.Fatal("no event labeled with reader index 1 (second r value)")
+	}
+	if b, err := os.ReadFile(mem); err != nil || len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("heap profile not a gzip stream (err=%v)", err)
 	}
 }

@@ -7,7 +7,8 @@
 //	ccmsim -op detect -n 10000 -r 6 -missing 80
 //	ccmsim -op search -n 5000 -r 4 -wanted 50
 //	ccmsim -op collect -n 2000 -r 6
-//	ccmsim -op bitmap -n 2000 -r 6 -frame 512
+//	ccmsim -op bitmap -n 2000 -r 6 -frame 512 -trace
+//	ccmsim -op estimate -trace-out trace.jsonl -metrics json -cpuprofile cpu.pprof
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"netags"
+	"netags/internal/obs"
 )
 
 func main() {
@@ -28,26 +30,46 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ccmsim", flag.ContinueOnError)
 	var (
-		op      = fs.String("op", "estimate", "operation: estimate | detect | search | collect | bitmap")
-		n       = fs.Int("n", 10000, "number of tags")
-		r       = fs.Float64("r", 6, "inter-tag range in meters")
-		seed    = fs.Uint64("seed", 1, "deployment + request seed")
-		missing = fs.Int("missing", 0, "tags to remove before a detect run")
-		wanted  = fs.Int("wanted", 20, "wanted list size for a search run (half present, half absent)")
-		frame   = fs.Int("frame", 512, "frame size for a raw bitmap run")
-		loss    = fs.Float64("loss", 0, "per-reception loss probability")
-		cicp    = fs.Bool("cicp", false, "use CICP instead of SICP for collect")
-		trace   = fs.Bool("trace", false, "print per-round convergence for a bitmap run")
-		lofEst  = fs.Bool("lof", false, "use the LoF sketch estimator instead of GMLE")
+		op       = fs.String("op", "estimate", "operation: estimate | detect | search | collect | bitmap")
+		n        = fs.Int("n", 10000, "number of tags")
+		r        = fs.Float64("r", 6, "inter-tag range in meters")
+		seed     = fs.Uint64("seed", 1, "deployment + request seed")
+		missing  = fs.Int("missing", 0, "tags to remove before a detect run")
+		wanted   = fs.Int("wanted", 20, "wanted list size for a search run (half present, half absent)")
+		frame    = fs.Int("frame", 512, "frame size for a raw bitmap run")
+		loss     = fs.Float64("loss", 0, "per-reception loss probability")
+		cicp     = fs.Bool("cicp", false, "use CICP instead of SICP for collect")
+		trace    = fs.Bool("trace", false, "narrate the run's event stream (rounds, frames, merges) on stdout")
+		lofEst   = fs.Bool("lof", false, "use the LoF sketch estimator instead of GMLE")
+		traceOut = fs.String("trace-out", "", "write the structured event stream to this JSONL file")
+		metrics  = fs.String("metrics", "", "print a run metrics summary: text | json")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	instr, err := obs.StartInstrumentation(*traceOut, *metrics, *cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			instr.Close(os.Stdout)
+		}
+	}()
+
 	sys, err := netags.NewSystem(netags.SystemOptions{Tags: *n, InterTagRange: *r, Seed: *seed})
 	if err != nil {
 		return err
 	}
+	tracer := instr.Tracer()
+	if *trace {
+		tracer = instr.WithTracer(obs.NewNarrator(os.Stdout))
+	}
+	sys = sys.WithTracer(tracer)
 	fmt.Printf("system: %d tags, %d reachable, %d tiers, density %.2f tags/m²\n",
 		sys.TagCount(), sys.Reachable(), sys.Tiers(), sys.Density())
 
@@ -78,6 +100,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			target = target.WithTracer(tracer) // RemoveTags drops the tracer
 			fmt.Printf("removed %d tags before detection\n", *missing)
 		}
 		res, err := target.DetectMissing(inventory, netags.DetectOptions{Seed: *seed, LossProb: *loss})
@@ -119,15 +142,10 @@ func run(args []string) error {
 		printCost(res.Cost)
 
 	case "bitmap":
+		// Per-round convergence output now comes from the Narrator tracer
+		// attached above (-trace), which works for every op, not just this
+		// one; the ad-hoc OnRound printer it replaces rendered the same rows.
 		sopts := netags.SessionOptions{FrameSize: *frame, Seed: *seed, LossProb: *loss}
-		if *trace {
-			fmt.Printf("%6s  %12s  %10s  %9s  %10s  %11s\n",
-				"round", "transmitters", "bits sent", "new busy", "known busy", "check slots")
-			sopts.OnRound = func(ri netags.RoundInfo) {
-				fmt.Printf("%6d  %12d  %10d  %9d  %10d  %11d\n",
-					ri.Round, ri.Transmitters, ri.BitsSent, ri.NewBusy, ri.KnownBusy, ri.CheckSlots)
-			}
-		}
 		res, err := sys.CollectBitmap(sopts)
 		if err != nil {
 			return err
@@ -139,7 +157,8 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown operation %q", *op)
 	}
-	return nil
+	closed = true
+	return instr.Close(os.Stdout)
 }
 
 func printCost(c netags.Cost) {

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunAllOperations(t *testing.T) {
 	base := []string{"-n", "400", "-r", "6", "-seed", "3"}
@@ -38,5 +44,64 @@ func TestRunVariantFlags(t *testing.T) {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
+	}
+}
+
+// TestRunObservabilityArtifacts pins the acceptance criterion: the -trace-out
+// JSONL is parseable line by line and the CPU/heap profiles are gzip streams.
+func TestRunObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{"-op", "estimate", "-n", "400", "-r", "6",
+		"-trace-out", trace, "-metrics", "json", "-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) == 0 {
+		t.Fatal("trace file is empty")
+	}
+	sawKind := false
+	for i, line := range lines {
+		if !json.Valid(line) {
+			t.Fatalf("trace line %d is not valid JSON: %s", i+1, line)
+		}
+		if bytes.Contains(line, []byte(`"kind":"session_start"`)) {
+			sawKind = true
+		}
+	}
+	if !sawKind {
+		t.Fatal("trace has no session_start event")
+	}
+	for _, p := range []string{cpu, mem} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+			t.Fatalf("%s is not a gzip stream (pprof profiles are gzipped)", p)
+		}
+	}
+}
+
+// TestRunTraceEveryOp pins the satellite: -trace narrates every operation,
+// not just bitmap runs.
+func TestRunTraceEveryOp(t *testing.T) {
+	for _, op := range []string{"estimate", "detect", "search", "collect", "bitmap"} {
+		if err := run([]string{"-op", op, "-n", "300", "-r", "6", "-trace"}); err != nil {
+			t.Errorf("run(-op %s -trace): %v", op, err)
+		}
+	}
+}
+
+func TestRunBadMetricsMode(t *testing.T) {
+	if err := run([]string{"-op", "estimate", "-n", "300", "-metrics", "bogus"}); err == nil {
+		t.Fatal("bad metrics mode accepted")
 	}
 }

@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"netags/internal/experiment"
+	"netags/internal/obs"
 )
 
 func main() {
@@ -54,17 +56,57 @@ func run(ctx context.Context, args []string) error {
 		ablation = fs.Bool("ablation", false, "disable the indicator vector (flooding ablation)")
 		loss     = fs.String("loss", "", "run the unreliable-channel sweep over these loss probabilities instead")
 		density  = fs.String("density", "", "run the population sweep over these n values instead")
-		quiet    = fs.Bool("quiet", false, "suppress progress output")
+		quiet    = fs.Bool("quiet", false, "suppress progress output (alias for -progress off)")
 		workers  = fs.Int("workers", 0, "parallel trial workers (0 = all cores, 1 = sequential; results are identical)")
+		progress = fs.String("progress", "text", "progress output on stderr: text | json | off")
+		traceOut = fs.String("trace-out", "", "write every protocol run's event stream to this JSONL file")
+		metrics  = fs.String("metrics", "", "print a sweep metrics summary: text | json")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// Progress now flows as structured experiment.Progress events; the
-	// rendered line is the legacy format, so -quiet keeps its meaning.
-	observe := func(p experiment.Progress) { fmt.Fprintln(os.Stderr, p.String()) }
 	if *quiet {
-		observe = nil
+		*progress = "off"
+	}
+	// Progress flows as structured experiment.Progress events; "text"
+	// renders the legacy line, "json" one JSONL object per work item.
+	var observe func(experiment.Progress)
+	switch *progress {
+	case "text":
+		observe = func(p experiment.Progress) { fmt.Fprintln(os.Stderr, p.String()) }
+	case "json":
+		enc := json.NewEncoder(os.Stderr)
+		observe = func(p experiment.Progress) { enc.Encode(p) }
+	case "off":
+	default:
+		return fmt.Errorf("unknown -progress mode %q (want text, json, or off)", *progress)
+	}
+	// Per-point elapsed/throughput aggregation rides along on the same
+	// event stream and prints to stderr after the sweep.
+	timing := experiment.NewTiming()
+	observe = timing.Wrap(observe)
+	summarize := func() {
+		if *progress != "off" {
+			fmt.Fprint(os.Stderr, timing.String())
+		}
+	}
+
+	instr, err := obs.StartInstrumentation(*traceOut, *metrics, *cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			instr.Close(os.Stdout)
+		}
+	}()
+	finish := func() error {
+		summarize()
+		closed = true
+		return instr.Close(os.Stdout)
 	}
 	if *density != "" {
 		values, err := parseFloats(*density)
@@ -85,6 +127,7 @@ func run(ctx context.Context, args []string) error {
 				Trials:  *trials,
 				Seed:    *seed,
 				Workers: *workers,
+				Tracer:  instr.Tracer(),
 			},
 			NValues: ns,
 			R:       rs[0],
@@ -93,7 +136,7 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Println(res.Render())
-		return nil
+		return finish()
 	}
 	if *loss != "" {
 		values, err := parseFloats(*loss)
@@ -111,6 +154,7 @@ func run(ctx context.Context, args []string) error {
 				Trials:  *trials,
 				Seed:    *seed,
 				Workers: *workers,
+				Tracer:  instr.Tracer(),
 			},
 			R:          rs[0],
 			LossValues: values,
@@ -119,7 +163,7 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Println(res.Render())
-		return nil
+		return finish()
 	}
 	if !*all && *figure == 0 && *table == 0 {
 		*all = true
@@ -130,8 +174,8 @@ func run(ctx context.Context, args []string) error {
 	cfg.Trials = *trials
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Tracer = instr.Tracer()
 	cfg.DisableIndicatorVector = *ablation
-	var err error
 	if cfg.RValues, err = parseFloats(*rList); err != nil {
 		return err
 	}
@@ -166,7 +210,7 @@ func run(ctx context.Context, args []string) error {
 		}
 		fmt.Fprintln(os.Stderr, "wrote", *csvPath)
 	}
-	return nil
+	return finish()
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,5 +71,45 @@ func TestRunDensityMode(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-trials", "1", "-r", "6", "-density", "x"}); err == nil {
 		t.Fatal("bad density list accepted")
+	}
+}
+
+// TestRunObservabilityFlags drives one small sweep with every observability
+// sink attached and checks the artifacts parse.
+func TestRunObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	err := run(context.Background(), []string{
+		"-n", "300", "-trials", "1", "-r", "6", "-figure", "3",
+		"-progress", "off", "-trace-out", trace, "-metrics", "json", "-cpuprofile", cpu,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		if !json.Valid(line) {
+			t.Fatalf("trace line %d is not valid JSON: %s", i+1, line)
+		}
+	}
+	if b, err := os.ReadFile(cpu); err != nil || len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("cpu profile not a gzip stream (err=%v)", err)
+	}
+}
+
+func TestRunProgressModes(t *testing.T) {
+	for _, mode := range []string{"text", "json", "off"} {
+		err := run(context.Background(), []string{
+			"-n", "300", "-trials", "1", "-r", "6", "-figure", "3", "-progress", mode})
+		if err != nil {
+			t.Errorf("run(-progress %s): %v", mode, err)
+		}
+	}
+	if err := run(context.Background(), []string{"-n", "300", "-trials", "1", "-r", "6", "-progress", "bogus"}); err == nil {
+		t.Fatal("bad progress mode accepted")
 	}
 }

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"netags/internal/obs"
 	"netags/internal/topology"
 )
 
@@ -70,6 +71,17 @@ type Config struct {
 	// Trace, if non-nil, receives one RoundTrace after each round's
 	// checking frame — the live view of the tier-by-tier convergence.
 	Trace func(RoundTrace)
+
+	// Tracer, if non-nil, receives the session's structured event stream
+	// (session_start, frame, indicator, check, round, session_end). Tracers
+	// are observe-only: attaching one never changes the simulation, and a
+	// nil Tracer costs nothing (see BenchmarkSessionTracer).
+	Tracer obs.Tracer
+
+	// Reader labels emitted events with the session's reader index, for
+	// multi-reader runs and concurrent sweeps sharing one tracer. It does
+	// not affect the simulation.
+	Reader int
 }
 
 // RoundTrace describes one completed CCM round for observers.

@@ -1,0 +1,35 @@
+package core
+
+import "netags/internal/obs"
+
+// MetricsFor builds an obs.Metrics snapshot from the completed session,
+// restricting the per-tag bit distributions to tags for which include
+// returns true (nil means all; callers typically pass a reachability
+// filter, matching the paper's in-system statistics). Building metrics is
+// on-demand and costs nothing during the session itself.
+func (r *Result) MetricsFor(include func(i int) bool) obs.Metrics {
+	var m obs.Metrics
+	m.Sessions = 1
+	m.Rounds = int64(r.Rounds)
+	if r.Truncated {
+		m.TruncatedSessions = 1
+	}
+	m.ShortSlots = r.Clock.ShortSlots
+	m.LongSlots = r.Clock.LongSlots
+	if r.Bitmap != nil {
+		m.BusySlots = int64(r.Bitmap.Count())
+	}
+	for _, nb := range r.NewBusyPerRound {
+		m.Waves.Observe(int64(nb))
+	}
+	for _, cs := range r.CheckSlotsPerRound {
+		m.CheckSlots.Observe(int64(cs))
+	}
+	if r.Meter != nil {
+		m.AddMeter(r.Meter, include)
+	}
+	return m
+}
+
+// Metrics is MetricsFor over every tag.
+func (r *Result) Metrics() obs.Metrics { return r.MetricsFor(nil) }

@@ -6,6 +6,7 @@ import (
 	"netags/internal/bitmap"
 	"netags/internal/energy"
 	"netags/internal/geom"
+	"netags/internal/obs"
 	"netags/internal/topology"
 )
 
@@ -43,14 +44,28 @@ func RunMultiSession(d *geom.Deployment, rg topology.Ranges, cfg Config) (*Multi
 		if err != nil {
 			return nil, fmt.Errorf("reader %d: %w", ri, err)
 		}
-		res, err := RunSession(nw, cfg)
+		rcfg := cfg
+		rcfg.Reader = ri
+		res, err := RunSession(nw, rcfg)
 		if err != nil {
 			return nil, fmt.Errorf("reader %d: %w", ri, err)
 		}
 		mr.PerReader = append(mr.PerReader, res)
 		mr.Bitmap.Or(res.Bitmap)
 		mr.Clock.Add(res.Clock)
-		mr.Meter.Merge(res.Meter)
+		if err := mr.Meter.Merge(res.Meter); err != nil {
+			return nil, fmt.Errorf("reader %d: %w", ri, err)
+		}
+		if t := cfg.Tracer; t != nil {
+			t.Trace(obs.Event{
+				Kind:      obs.KindReaderMerge,
+				Protocol:  obs.ProtoCCM,
+				Reader:    ri,
+				Count:     res.Bitmap.Count(),
+				KnownBusy: mr.Bitmap.Count(),
+				Rounds:    res.Rounds,
+			})
+		}
 	}
 	return mr, nil
 }

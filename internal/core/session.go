@@ -3,6 +3,7 @@ package core
 import (
 	"netags/internal/bitmap"
 	"netags/internal/energy"
+	"netags/internal/obs"
 	"netags/internal/prng"
 	"netags/internal/topology"
 )
@@ -160,11 +161,22 @@ func (s *session) mark(i, slot int, st uint8) bool {
 
 func (s *session) run() *Result {
 	res := &Result{Meter: s.meter}
+	if t := s.cfg.Tracer; t != nil {
+		t.Trace(obs.Event{
+			Kind:      obs.KindSessionStart,
+			Protocol:  obs.ProtoCCM,
+			Reader:    s.cfg.Reader,
+			FrameSize: s.f,
+			Tags:      s.nw.N(),
+			Tiers:     s.nw.K,
+			Seed:      s.cfg.Seed,
+		})
+	}
 	maxRounds := s.cfg.maxRounds(s.nw)
 	for round := 1; round <= maxRounds; round++ {
-		txTags, txBits := s.runRound(res)
+		txTags, txBits := s.runRound(res, round)
 		res.Rounds = round
-		more := s.runCheckingFrame(res)
+		more := s.runCheckingFrame(res, round)
 		if s.cfg.Trace != nil {
 			s.cfg.Trace(RoundTrace{
 				Round:        round,
@@ -174,6 +186,20 @@ func (s *session) run() *Result {
 				KnownBusy:    s.known.Count(),
 				CheckSlots:   res.CheckSlotsPerRound[round-1],
 				MorePending:  more,
+			})
+		}
+		if t := s.cfg.Tracer; t != nil {
+			t.Trace(obs.Event{
+				Kind:         obs.KindRound,
+				Protocol:     obs.ProtoCCM,
+				Reader:       s.cfg.Reader,
+				Round:        round,
+				Transmitters: txTags,
+				Bits:         int64(txBits),
+				NewBusy:      res.NewBusyPerRound[round-1],
+				KnownBusy:    s.known.Count(),
+				CheckSlots:   res.CheckSlotsPerRound[round-1],
+				Pending:      more,
 			})
 		}
 		if !more {
@@ -188,13 +214,30 @@ func (s *session) run() *Result {
 			break
 		}
 	}
+	if t := s.cfg.Tracer; t != nil {
+		sum := s.meter.Summarize(nil)
+		t.Trace(obs.Event{
+			Kind:        obs.KindSessionEnd,
+			Protocol:    obs.ProtoCCM,
+			Reader:      s.cfg.Reader,
+			Rounds:      res.Rounds,
+			KnownBusy:   res.Bitmap.Count(),
+			ShortSlots:  res.Clock.ShortSlots,
+			LongSlots:   res.Clock.LongSlots,
+			Truncated:   res.Truncated,
+			AvgSentBits: sum.AvgSent,
+			AvgRecvBits: sum.AvgReceived,
+			MaxSentBits: sum.MaxSent,
+			MaxRecvBits: sum.MaxReceived,
+		})
+	}
 	return res
 }
 
 // runRound executes the request broadcast, the f-slot frame, and the
 // indicator-vector broadcast of one round. It returns the number of
 // transmitting tags and the frame bits they sent (for tracing).
-func (s *session) runRound(res *Result) (txTags, txBits int) {
+func (s *session) runRound(res *Result, round int) (txTags, txBits int) {
 	n := s.nw.N()
 
 	// Reader request broadcast: one 96-bit reader slot. (The paper's energy
@@ -267,6 +310,21 @@ func (s *session) runRound(res *Result) (txTags, txBits int) {
 	res.NewBusyPerRound = append(res.NewBusyPerRound, newBusy.Count())
 	s.known.Or(s.roundBusy)
 
+	if t := s.cfg.Tracer; t != nil {
+		t.Trace(obs.Event{
+			Kind:         obs.KindFrame,
+			Protocol:     obs.ProtoCCM,
+			Reader:       s.cfg.Reader,
+			Round:        round,
+			FrameSize:    s.f,
+			Slots:        int64(s.f),
+			Transmitters: txTags,
+			Bits:         int64(txBits),
+			NewBusy:      newBusy.Count(),
+			KnownBusy:    s.known.Count(),
+		})
+	}
+
 	if s.cfg.DisableIndicatorVector {
 		return txTags, txBits
 	}
@@ -295,6 +353,17 @@ func (s *session) runRound(res *Result) (txTags, txBits int) {
 			}
 		}
 	})
+	if t := s.cfg.Tracer; t != nil {
+		t.Trace(obs.Event{
+			Kind:     obs.KindIndicator,
+			Protocol: obs.ProtoCCM,
+			Reader:   s.cfg.Reader,
+			Round:    round,
+			Slots:    segments,
+			Bits:     segments * energy.IDBits,
+			Count:    newBusy.Count(),
+		})
+	}
 	return txTags, txBits
 }
 
@@ -302,7 +371,7 @@ func (s *session) runRound(res *Result) (txTags, txBits int) {
 // another round is needed. Tags with pending transmissions respond in C[1];
 // a tag that hears a response in C[j] relays it once in C[j+1]; the reader
 // stops the frame at the first busy slot it senses.
-func (s *session) runCheckingFrame(res *Result) bool {
+func (s *session) runCheckingFrame(res *Result, round int) bool {
 	n := s.nw.N()
 	lc := s.cfg.checkingFrameLen(s.nw)
 
@@ -371,5 +440,15 @@ func (s *session) runCheckingFrame(res *Result) bool {
 	}
 	s.clock.ShortSlots += int64(slotsUsed)
 	res.CheckSlotsPerRound = append(res.CheckSlotsPerRound, slotsUsed)
+	if t := s.cfg.Tracer; t != nil {
+		t.Trace(obs.Event{
+			Kind:     obs.KindCheck,
+			Protocol: obs.ProtoCCM,
+			Reader:   s.cfg.Reader,
+			Round:    round,
+			Slots:    int64(slotsUsed),
+			Pending:  heard,
+		})
+	}
 	return heard
 }

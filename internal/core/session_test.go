@@ -24,7 +24,7 @@ func lineNetwork(t *testing.T) *topology.Network {
 	return nw
 }
 
-func diskNetwork(t *testing.T, n int, r float64, seed uint64) *topology.Network {
+func diskNetwork(t testing.TB, n int, r float64, seed uint64) *topology.Network {
 	t.Helper()
 	d := geom.NewUniformDisk(n, 30, seed)
 	nw, err := topology.Build(d, 0, topology.PaperRanges(r))

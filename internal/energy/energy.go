@@ -8,6 +8,8 @@
 // already relayed or silenced by the indicator vector) save energy.
 package energy
 
+import "fmt"
+
 // IDBits is the length of a tag ID in bits, per the EPC Gen2 convention the
 // paper adopts (96-bit IDs; the reader packs indicator-vector segments into
 // 96-bit slots too).
@@ -40,15 +42,21 @@ func (m *Meter) Sent(i int) int64 { return m.sent[i] }
 func (m *Meter) Received(i int) int64 { return m.recv[i] }
 
 // Merge adds the counts of other into m (used to combine per-reader sessions
-// in the multi-reader extension). The meters must have equal size.
-func (m *Meter) Merge(other *Meter) {
+// in the multi-reader extension). The meters must track the same number of
+// tags; merging meters of different sizes is a caller bug, reported as an
+// error naming both sizes rather than a panic so protocol drivers can wrap
+// it with context. (Contrast stats.Sample.Merge, which has no size invariant
+// and cannot fail.)
+func (m *Meter) Merge(other *Meter) error {
 	if len(m.sent) != len(other.sent) {
-		panic("energy: meter size mismatch in Merge")
+		return fmt.Errorf("energy: cannot merge meter of %d tags into meter of %d tags",
+			len(other.sent), len(m.sent))
 	}
 	for i := range m.sent {
 		m.sent[i] += other.sent[i]
 		m.recv[i] += other.recv[i]
 	}
+	return nil
 }
 
 // Summary aggregates a meter over a subset of tags.
@@ -98,7 +106,7 @@ func (m *Meter) Summarize(include func(i int) bool) Summary {
 // CCM's max per-tag cost is close to its average, across all tiers).
 func (m *Meter) SummarizeByTier(tier []int16, maxTier int) []Summary {
 	if len(tier) != len(m.sent) {
-		panic("energy: tier slice size mismatch")
+		panic(fmt.Sprintf("energy: %d tier entries for meter of %d tags", len(tier), len(m.sent)))
 	}
 	out := make([]Summary, maxTier+1)
 	for k := 0; k <= maxTier; k++ {

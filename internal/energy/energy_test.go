@@ -2,6 +2,7 @@ package energy
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -72,7 +73,9 @@ func TestMerge(t *testing.T) {
 	a.AddSent(0, 1)
 	b.AddSent(0, 2)
 	b.AddReceived(1, 9)
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
 	if a.Sent(0) != 3 || a.Received(1) != 9 {
 		t.Fatalf("merge result wrong: sent=%d recv=%d", a.Sent(0), a.Received(1))
 	}
@@ -82,13 +85,14 @@ func TestMerge(t *testing.T) {
 	}
 }
 
-func TestMergeSizeMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("size mismatch did not panic")
-		}
-	}()
-	NewMeter(2).Merge(NewMeter(3))
+func TestMergeSizeMismatch(t *testing.T) {
+	err := NewMeter(2).Merge(NewMeter(3))
+	if err == nil {
+		t.Fatal("size mismatch did not return an error")
+	}
+	if !strings.Contains(err.Error(), "3") || !strings.Contains(err.Error(), "2") {
+		t.Fatalf("error %q does not name both sizes", err)
+	}
 }
 
 func TestClock(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 
 	"netags/internal/geom"
 	"netags/internal/gmle"
+	"netags/internal/obs"
 	"netags/internal/sicp"
 	"netags/internal/stats"
 	"netags/internal/topology"
@@ -106,15 +107,15 @@ func RunDensitySweepContext(ctx context.Context, cfg DensityConfig, observe func
 			if err != nil {
 				return densityTrial{}, fmt.Errorf("n=%d trial %d: %w", p.n, trial, err)
 			}
-			gm, _, err := runProtocolSized(GMLECCM, nw, p.gmleF, gmle.SamplingFor(p.gmleF, float64(p.n)), seeds.Proto)
+			gm, _, err := runProtocolSized(GMLECCM, nw, p.gmleF, gmle.SamplingFor(p.gmleF, float64(p.n)), seeds.Proto, cfg.Tracer)
 			if err != nil {
 				return densityTrial{}, err
 			}
-			tr, _, err := runProtocolSized(TRPCCM, nw, p.trpF, 1, seeds.Proto)
+			tr, _, err := runProtocolSized(TRPCCM, nw, p.trpF, 1, seeds.Proto, cfg.Tracer)
 			if err != nil {
 				return densityTrial{}, err
 			}
-			si, _, err := runProtocolSized(SICP, nw, 0, 0, seeds.Proto)
+			si, _, err := runProtocolSized(SICP, nw, 0, 0, seeds.Proto, cfg.Tracer)
 			if err != nil {
 				return densityTrial{}, err
 			}
@@ -147,16 +148,16 @@ func RunDensitySweepContext(ctx context.Context, cfg DensityConfig, observe func
 
 // runProtocolSized runs one protocol with explicit frame parameters and
 // returns its slot count.
-func runProtocolSized(p Protocol, nw *topology.Network, frame int, sampling float64, seed uint64) (int64, int64, error) {
+func runProtocolSized(p Protocol, nw *topology.Network, frame int, sampling float64, seed uint64, tracer obs.Tracer) (int64, int64, error) {
 	switch p {
 	case GMLECCM, TRPCCM:
-		r, err := runCCM(nw, frame, sampling, seed, false)
+		r, err := runCCM(nw, frame, sampling, seed, false, tracer)
 		if err != nil {
 			return 0, 0, err
 		}
 		return r.clock.Total(), 0, nil
 	case SICP:
-		r, err := sicp.Collect(nw, sicp.Options{Seed: seed})
+		r, err := sicp.Collect(nw, sicp.Options{Seed: seed, Tracer: tracer})
 		if err != nil {
 			return 0, 0, err
 		}

@@ -23,6 +23,7 @@ import (
 	"netags/internal/energy"
 	"netags/internal/geom"
 	"netags/internal/gmle"
+	"netags/internal/obs"
 	"netags/internal/sicp"
 	"netags/internal/stats"
 	"netags/internal/topology"
@@ -228,25 +229,25 @@ func RunContext(ctx context.Context, cfg Config, observe func(Progress)) (*Resul
 func runProtocol(p Protocol, nw *topology.Network, cfg Config, seed uint64) (energy.Clock, *energy.Meter, error) {
 	switch p {
 	case GMLECCM:
-		r, err := runCCM(nw, cfg.GMLEFrame, gmle.SamplingFor(cfg.GMLEFrame, float64(cfg.N)), seed, cfg.DisableIndicatorVector)
+		r, err := runCCM(nw, cfg.GMLEFrame, gmle.SamplingFor(cfg.GMLEFrame, float64(cfg.N)), seed, cfg.DisableIndicatorVector, cfg.Tracer)
 		if err != nil {
 			return energy.Clock{}, nil, err
 		}
 		return r.clock, r.meter, nil
 	case TRPCCM:
-		r, err := runCCM(nw, cfg.TRPFrame, 1, seed, cfg.DisableIndicatorVector)
+		r, err := runCCM(nw, cfg.TRPFrame, 1, seed, cfg.DisableIndicatorVector, cfg.Tracer)
 		if err != nil {
 			return energy.Clock{}, nil, err
 		}
 		return r.clock, r.meter, nil
 	case SICP:
-		r, err := sicp.Collect(nw, sicp.Options{Seed: seed, ContentionWindow: cfg.ContentionWindow})
+		r, err := sicp.Collect(nw, sicp.Options{Seed: seed, ContentionWindow: cfg.ContentionWindow, Tracer: cfg.Tracer})
 		if err != nil {
 			return energy.Clock{}, nil, err
 		}
 		return r.Clock, r.Meter, nil
 	case CICP:
-		r, err := sicp.CollectCICP(nw, sicp.Options{Seed: seed, ContentionWindow: cfg.ContentionWindow})
+		r, err := sicp.CollectCICP(nw, sicp.Options{Seed: seed, ContentionWindow: cfg.ContentionWindow, Tracer: cfg.Tracer})
 		if err != nil {
 			return energy.Clock{}, nil, err
 		}
@@ -260,12 +261,13 @@ type ccmRun struct {
 	meter *energy.Meter
 }
 
-func runCCM(nw *topology.Network, frame int, sampling float64, seed uint64, noIndicator bool) (*ccmRun, error) {
+func runCCM(nw *topology.Network, frame int, sampling float64, seed uint64, noIndicator bool, tracer obs.Tracer) (*ccmRun, error) {
 	cfg := core.Config{
 		FrameSize:              frame,
 		Seed:                   seed,
 		Sampling:               sampling,
 		DisableIndicatorVector: noIndicator,
+		Tracer:                 tracer,
 	}
 	if noIndicator {
 		// Flooding needs more rounds than Algorithm 1's L_c bound: the

@@ -117,6 +117,7 @@ func RunLossSweepContext(ctx context.Context, cfg LossConfig, observe func(Progr
 				Sampling:  1,
 				LossProb:  loss,
 				LossSeed:  seeds.Aux,
+				Tracer:    cfg.Tracer,
 			}
 			got, err := core.RunSession(nw, cc)
 			if err != nil {
@@ -124,6 +125,7 @@ func RunLossSweepContext(ctx context.Context, cfg LossConfig, observe func(Progr
 			}
 			truthCfg := cc
 			truthCfg.LossProb = 0
+			truthCfg.Tracer = nil // reference computation, not a protocol run
 			truth, err := core.DirectBitmap(nw, truthCfg)
 			if err != nil {
 				return lossTrial{}, err

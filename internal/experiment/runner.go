@@ -16,6 +16,7 @@ package experiment
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
@@ -23,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netags/internal/obs"
 	"netags/internal/prng"
 )
 
@@ -43,6 +45,14 @@ type BaseConfig struct {
 	// runtime.GOMAXPROCS(0); 1 runs the sequential path in the calling
 	// goroutine. Any value produces bit-identical results.
 	Workers int
+	// Tracer, if non-nil, receives the structured event stream of every
+	// protocol run in the sweep. It MUST be safe for concurrent use (the
+	// worker pool shares it; obs.JSONL, obs.Memory, and obs.Collector all
+	// are) and is observe-only: attaching one never changes the reported
+	// numbers. Events arrive in completion order, interleaved across
+	// concurrent work items; the Reader field does not distinguish work
+	// items, so deep per-trial analysis is best done at Workers: 1.
+	Tracer obs.Tracer
 }
 
 // workers resolves the effective pool size.
@@ -119,6 +129,31 @@ type Progress struct {
 	Tiers int
 	// Elapsed is the wall time the work item took.
 	Elapsed time.Duration
+}
+
+// MarshalJSON renders the event as one JSONL-friendly object (the CLIs'
+// `-progress json` mode). Zero-valued coordinates are kept: a loss sweep
+// point with Loss 0 is real data, not absence.
+func (p Progress) MarshalJSON() ([]byte, error) {
+	protos := make([]string, len(p.Protocols))
+	for i, pr := range p.Protocols {
+		protos[i] = string(pr)
+	}
+	return json.Marshal(struct {
+		Sweep     string   `json:"sweep"`
+		R         float64  `json:"r,omitempty"`
+		N         int      `json:"n,omitempty"`
+		Loss      float64  `json:"loss"`
+		Trial     int      `json:"trial"`
+		Trials    int      `json:"trials"`
+		Protocols []string `json:"protocols,omitempty"`
+		Tiers     int      `json:"tiers"`
+		ElapsedMS float64  `json:"elapsed_ms"`
+	}{
+		Sweep: p.Sweep, R: p.R, N: p.N, Loss: p.Loss,
+		Trial: p.Trial, Trials: p.Trials, Protocols: protos,
+		Tiers: p.Tiers, ElapsedMS: float64(p.Elapsed) / float64(time.Millisecond),
+	})
 }
 
 // String renders the event in the legacy progress-line format.

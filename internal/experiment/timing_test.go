@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimingAggregatesPerPoint(t *testing.T) {
+	tm := NewTiming()
+	for trial := 0; trial < 3; trial++ {
+		tm.Observe(Progress{Sweep: "range", R: 15, Trial: trial, Trials: 3,
+			Elapsed: time.Duration(trial+1) * 10 * time.Millisecond})
+	}
+	tm.Observe(Progress{Sweep: "range", R: 25, Trial: 0, Trials: 3,
+		Elapsed: 40 * time.Millisecond})
+
+	pts := tm.Points()
+	if len(pts) != 2 {
+		t.Fatalf("Points() = %d points, want 2", len(pts))
+	}
+	p := pts[0]
+	if p.Label() != "r=15" || p.Items != 3 {
+		t.Fatalf("first point = %q with %d items, want r=15 with 3", p.Label(), p.Items)
+	}
+	if p.Total != 60*time.Millisecond {
+		t.Fatalf("Total = %v, want 60ms", p.Total)
+	}
+	if got := p.PerItem.Mean(); got != 20 {
+		t.Fatalf("PerItem mean = %g ms, want 20", got)
+	}
+	// 3 items in 60ms of summed work time = 50 items/sec.
+	if got := p.Throughput(); got != 50 {
+		t.Fatalf("Throughput = %g, want 50", got)
+	}
+	if pts[1].Label() != "r=25" || pts[1].Items != 1 {
+		t.Fatalf("second point = %q with %d items, want r=25 with 1", pts[1].Label(), pts[1].Items)
+	}
+}
+
+func TestTimingLabelsPerSweep(t *testing.T) {
+	tm := NewTiming()
+	tm.Observe(Progress{Sweep: "density", N: 5000, Elapsed: time.Millisecond})
+	tm.Observe(Progress{Sweep: "loss", Loss: 0.2, Elapsed: time.Millisecond})
+	pts := tm.Points()
+	if pts[0].Label() != "n=5000" || pts[1].Label() != "loss=0.2" {
+		t.Fatalf("labels = %q, %q; want n=5000, loss=0.2", pts[0].Label(), pts[1].Label())
+	}
+	s := tm.String()
+	for _, want := range []string{"point", "items/sec", "n=5000", "loss=0.2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTimingWrapForwards(t *testing.T) {
+	tm := NewTiming()
+	var got []Progress
+	obs := tm.Wrap(func(p Progress) { got = append(got, p) })
+	obs(Progress{Sweep: "range", R: 10, Elapsed: 5 * time.Millisecond})
+	if len(got) != 1 || got[0].R != 10 {
+		t.Fatalf("wrapped observer did not forward: %+v", got)
+	}
+	if pts := tm.Points(); len(pts) != 1 || pts[0].Items != 1 {
+		t.Fatalf("wrapped observer did not record: %+v", pts)
+	}
+	// nil next must be accepted.
+	tm.Wrap(nil)(Progress{Sweep: "range", R: 10, Elapsed: time.Millisecond})
+	if pts := tm.Points(); pts[0].Items != 2 {
+		t.Fatalf("nil-next wrap did not record: %+v", pts)
+	}
+}
+
+func TestTimingConcurrentObserve(t *testing.T) {
+	tm := NewTiming()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tm.Observe(Progress{Sweep: "range", R: 15, Elapsed: time.Millisecond})
+			}
+		}()
+	}
+	wg.Wait()
+	if pts := tm.Points(); len(pts) != 1 || pts[0].Items != 800 {
+		t.Fatalf("concurrent observe lost events: %+v", pts)
+	}
+}
+
+func TestTimingEmptyString(t *testing.T) {
+	if s := NewTiming().String(); !strings.Contains(s, "no events") {
+		t.Fatalf("empty String() = %q", s)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"netags/internal/core"
 	"netags/internal/energy"
+	"netags/internal/obs"
 	"netags/internal/prng"
 	"netags/internal/topology"
 )
@@ -29,6 +30,9 @@ type Options struct {
 	Seed uint64
 	// LossProb forwards the unreliable-channel extension to the sessions.
 	LossProb float64
+	// Tracer, if non-nil, receives the underlying CCM sessions' events plus
+	// one gmle phase event per frame (Phase "probe" or "accurate").
+	Tracer obs.Tracer
 }
 
 func (o *Options) setDefaults() {
@@ -106,13 +110,14 @@ func EstimateWith(nTags int, run SessionRunner, opts Options) (*Outcome, error) 
 	var est Estimator
 	seeds := prng.New(opts.Seed)
 
-	runFrame := func(f int, p float64) (zeros int, err error) {
+	runFrame := func(phase string, f int, p float64) (zeros int, err error) {
 		cfg := core.Config{
 			FrameSize: f,
 			Seed:      seeds.Uint64(),
 			Sampling:  p,
 			LossProb:  opts.LossProb,
 			LossSeed:  seeds.Uint64(),
+			Tracer:    opts.Tracer,
 		}
 		res, err := run(cfg)
 		if err != nil {
@@ -120,9 +125,23 @@ func EstimateWith(nTags int, run SessionRunner, opts Options) (*Outcome, error) 
 		}
 		out.Frames++
 		out.Clock.Add(res.Clock)
-		out.Meter.Merge(res.Meter)
+		if err := out.Meter.Merge(res.Meter); err != nil {
+			return 0, fmt.Errorf("gmle: frame %d: %w", out.Frames, err)
+		}
 		out.Truncated = out.Truncated || res.Truncated
-		return res.Bitmap.Zeros(), nil
+		zeros = res.Bitmap.Zeros()
+		if t := opts.Tracer; t != nil {
+			t.Trace(obs.Event{
+				Kind:      obs.KindPhase,
+				Protocol:  obs.ProtoGMLE,
+				Phase:     phase,
+				Round:     out.Frames,
+				FrameSize: f,
+				Count:     zeros,
+				Value:     p,
+			})
+		}
+		return zeros, nil
 	}
 
 	// Rough phase: probe with geometrically decreasing p until the MLE is
@@ -131,7 +150,7 @@ func EstimateWith(nTags int, run SessionRunner, opts Options) (*Outcome, error) 
 	p := 1.0
 	nHat := math.NaN()
 	for out.Frames < opts.MaxFrames {
-		zeros, err := runFrame(opts.ProbeFrameSize, p)
+		zeros, err := runFrame("probe", opts.ProbeFrameSize, p)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +181,7 @@ func EstimateWith(nTags int, run SessionRunner, opts Options) (*Outcome, error) 
 			return out, nil
 		}
 		pAcc := SamplingFor(accurateF, nHat)
-		zeros, err := runFrame(accurateF, pAcc)
+		zeros, err := runFrame("accurate", accurateF, pAcc)
 		if err != nil {
 			return nil, err
 		}

@@ -22,6 +22,7 @@ import (
 
 	"netags/internal/core"
 	"netags/internal/energy"
+	"netags/internal/obs"
 	"netags/internal/prng"
 	"netags/internal/topology"
 )
@@ -68,6 +69,9 @@ type Options struct {
 	Seed uint64
 	// LossProb forwards the unreliable-channel extension.
 	LossProb float64
+	// Tracer, if non-nil, receives the underlying CCM sessions' events plus
+	// one lof phase event per frame carrying the Z statistic.
+	Tracer obs.Tracer
 }
 
 // Outcome reports an estimation run.
@@ -120,15 +124,30 @@ func EstimateWith(nTags int, run SessionRunner, opts Options) (*Outcome, error) 
 			Picker:    Picker(seed, opts.FrameSize),
 			LossProb:  opts.LossProb,
 			LossSeed:  seeds.Uint64(),
+			Tracer:    opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
 		}
 		out.Frames++
 		out.Clock.Add(res.Clock)
-		out.Meter.Merge(res.Meter)
+		if err := out.Meter.Merge(res.Meter); err != nil {
+			return nil, fmt.Errorf("lof: frame %d: %w", out.Frames, err)
+		}
 		out.Truncated = out.Truncated || res.Truncated
-		sumZ += float64(FirstIdle(res.Bitmap.Get, opts.FrameSize))
+		z := FirstIdle(res.Bitmap.Get, opts.FrameSize)
+		sumZ += float64(z)
+		if t := opts.Tracer; t != nil {
+			t.Trace(obs.Event{
+				Kind:      obs.KindPhase,
+				Protocol:  obs.ProtoLoF,
+				Phase:     "frame",
+				Round:     out.Frames,
+				FrameSize: opts.FrameSize,
+				Count:     z,
+				Seed:      seed,
+			})
+		}
 	}
 	out.MeanZ = sumZ / float64(out.Frames)
 	out.Estimate = math.Exp2(out.MeanZ) / fmCorrection

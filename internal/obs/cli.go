@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Instrumentation bundles the observability plumbing the CLIs share: an
+// optional JSONL trace file, an optional metrics collector, and optional
+// CPU/heap profiles. Build one with StartInstrumentation from the flag
+// values, attach Tracer() to the run, and Close it when the run is done.
+type Instrumentation struct {
+	tracer      Tracer
+	collector   *Collector
+	traceFile   *JSONLFile
+	stopProfile func() error
+	metricsMode string
+}
+
+// StartInstrumentation opens the requested sinks. traceOut names a JSONL
+// trace file ("" = none), metricsMode is "", "text", or "json", and
+// cpuProfile/memProfile name pprof output files ("" = none). On error,
+// anything already opened is closed.
+func StartInstrumentation(traceOut, metricsMode, cpuProfile, memProfile string) (*Instrumentation, error) {
+	switch metricsMode {
+	case "", "text", "json":
+	default:
+		return nil, fmt.Errorf("obs: metrics mode %q (want text or json)", metricsMode)
+	}
+	in := &Instrumentation{metricsMode: metricsMode}
+	if traceOut != "" {
+		f, err := CreateJSONLFile(traceOut)
+		if err != nil {
+			return nil, err
+		}
+		in.traceFile = f
+	}
+	if metricsMode != "" {
+		in.collector = NewCollector()
+	}
+	stop, err := StartProfiles(cpuProfile, memProfile)
+	if err != nil {
+		if in.traceFile != nil {
+			in.traceFile.Close()
+		}
+		return nil, err
+	}
+	in.stopProfile = stop
+	var sinks []Tracer
+	if in.traceFile != nil {
+		sinks = append(sinks, in.traceFile)
+	}
+	if in.collector != nil {
+		sinks = append(sinks, in.collector)
+	}
+	in.tracer = Multi(sinks...)
+	return in, nil
+}
+
+// Tracer returns the combined event sink, or nil when neither a trace file
+// nor metrics were requested — so attaching it preserves the nil-tracer
+// fast path.
+func (in *Instrumentation) Tracer() Tracer { return in.tracer }
+
+// WithTracer returns the combined sink extended with extra tracers (nils
+// skipped), e.g. a Narrator for -trace alongside the -trace-out file.
+func (in *Instrumentation) WithTracer(extra ...Tracer) Tracer {
+	return Multi(append([]Tracer{in.tracer}, extra...)...)
+}
+
+// Close flushes and closes every sink: the trace file is flushed, the
+// metrics summary (if requested) is rendered to w, and the profiles are
+// written. The first error wins, but every sink is still closed.
+func (in *Instrumentation) Close(w io.Writer) error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if in.traceFile != nil {
+		keep(in.traceFile.Close())
+	}
+	if in.collector != nil {
+		m := in.collector.Snapshot()
+		switch in.metricsMode {
+		case "json":
+			b, err := m.MarshalJSON()
+			keep(err)
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s\n", b)
+				keep(err)
+			}
+		case "text":
+			_, err := io.WriteString(w, m.String())
+			keep(err)
+		}
+	}
+	if in.stopProfile != nil {
+		keep(in.stopProfile())
+	}
+	return first
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+
+	"netags/internal/energy"
+	"netags/internal/stats"
+)
+
+// histBuckets bounds Hist at values up to 2^22 (4M) per bucket top; larger
+// observations land in the last bucket.
+const histBuckets = 24
+
+// Hist is a fixed-size power-of-two histogram: bucket 0 counts zeros,
+// bucket b ≥ 1 counts values in [2^(b−1), 2^b). It is a flat value type
+// (mergeable, comparable-by-field, no allocations), which keeps Metrics
+// cheap enough to build on every run.
+type Hist struct {
+	// Counts are the per-bucket observation counts.
+	Counts [histBuckets]int64
+	// N, Sum, Max summarize the raw observations.
+	N   int64
+	Sum int64
+	Max int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.Counts[b]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Merge folds another histogram into h.
+func (h *Hist) Merge(o Hist) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// BucketLow returns the inclusive lower bound of bucket b.
+func BucketLow(b int) int64 {
+	if b == 0 {
+		return 0
+	}
+	return 1 << (b - 1)
+}
+
+// String renders the non-empty buckets compactly: "0:3 [1,2):5 [2,4):1".
+func (h *Hist) String() string {
+	var sb strings.Builder
+	for b, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		if b == 0 {
+			fmt.Fprintf(&sb, "0:%d", c)
+		} else {
+			fmt.Fprintf(&sb, "[%d,%d):%d", BucketLow(b), int64(1)<<b, c)
+		}
+	}
+	if sb.Len() == 0 {
+		return "(empty)"
+	}
+	return sb.String()
+}
+
+// appendJSON renders the histogram as {"n":..,"sum":..,"max":..,"mean":..,
+// "buckets":{"<low>":count,...}} with empty buckets omitted.
+func (h *Hist) appendJSON(b []byte) []byte {
+	b = append(b, fmt.Sprintf(`{"n":%d,"sum":%d,"max":%d,"mean":%g,"buckets":{`,
+		h.N, h.Sum, h.Max, h.Mean())...)
+	first := true
+	for bk, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, fmt.Sprintf(`"%d":%d`, BucketLow(bk), c)...)
+	}
+	return append(b, '}', '}')
+}
+
+// Metrics is a mergeable snapshot of what one or more protocol runs cost
+// and how they converged: counters for sessions/rounds/slots, histograms
+// for the per-round busy-slot waves and checking frames, and per-tag
+// bits-sent/received distributions built on energy.Meter and stats.Sample.
+//
+// Two builders share this type with slightly different granularity:
+// core.Result.MetricsFor fills the bit distributions per tag from the
+// session's Meter, while the event-driven Collector (which never sees a
+// Meter) fills SentBits/RecvBits with per-session averages and
+// SentHist/RecvHist with per-session maxima from session_end events.
+type Metrics struct {
+	// Sessions, Rounds, TruncatedSessions count completed protocol
+	// sessions, their total rounds, and how many ended truncated.
+	Sessions          int64
+	Rounds            int64
+	TruncatedSessions int64
+	// ShortSlots / LongSlots total the air time by slot kind.
+	ShortSlots int64
+	LongSlots  int64
+	// BusySlots totals the final busy-slot counts of the collected bitmaps.
+	BusySlots int64
+	// Waves is the distribution of per-round new-busy counts — the §III
+	// information waves arriving tier by tier.
+	Waves Hist
+	// CheckSlots is the distribution of checking-frame lengths executed.
+	CheckSlots Hist
+	// SentBits / RecvBits are bits-sent/received distributions (per tag or
+	// per session; see the type comment).
+	SentBits stats.Sample
+	RecvBits stats.Sample
+	// SentHist / RecvHist are the same measurements as power-of-two
+	// histograms, for tail inspection.
+	SentHist Hist
+	RecvHist Hist
+}
+
+// AddMeter folds a meter's per-tag bit counts into the distributions,
+// restricted to tags for which include returns true (nil means all).
+func (m *Metrics) AddMeter(mt *energy.Meter, include func(i int) bool) {
+	for i := 0; i < mt.N(); i++ {
+		if include != nil && !include(i) {
+			continue
+		}
+		sent, recv := mt.Sent(i), mt.Received(i)
+		m.SentBits.Add(float64(sent))
+		m.RecvBits.Add(float64(recv))
+		m.SentHist.Observe(sent)
+		m.RecvHist.Observe(recv)
+	}
+}
+
+// Merge folds another snapshot into m.
+func (m *Metrics) Merge(o *Metrics) {
+	m.Sessions += o.Sessions
+	m.Rounds += o.Rounds
+	m.TruncatedSessions += o.TruncatedSessions
+	m.ShortSlots += o.ShortSlots
+	m.LongSlots += o.LongSlots
+	m.BusySlots += o.BusySlots
+	m.Waves.Merge(o.Waves)
+	m.CheckSlots.Merge(o.CheckSlots)
+	m.SentBits.Merge(o.SentBits)
+	m.RecvBits.Merge(o.RecvBits)
+	m.SentHist.Merge(o.SentHist)
+	m.RecvHist.Merge(o.RecvHist)
+}
+
+// TotalSlots returns the total air time in slots.
+func (m *Metrics) TotalSlots() int64 { return m.ShortSlots + m.LongSlots }
+
+// String renders the snapshot as an indented text block (the CLIs'
+// `-metrics text`).
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics: %d sessions, %d rounds, %d truncated\n",
+		m.Sessions, m.Rounds, m.TruncatedSessions)
+	fmt.Fprintf(&b, "  air time: %d slots (%d short + %d long), %d busy slots collected\n",
+		m.TotalSlots(), m.ShortSlots, m.LongSlots, m.BusySlots)
+	fmt.Fprintf(&b, "  busy-slot waves/round: mean %.1f max %d  %s\n",
+		m.Waves.Mean(), m.Waves.Max, m.Waves.String())
+	fmt.Fprintf(&b, "  check slots/round:     mean %.1f max %d  %s\n",
+		m.CheckSlots.Mean(), m.CheckSlots.Max, m.CheckSlots.String())
+	fmt.Fprintf(&b, "  bits sent:     %s (max %d)\n", m.SentBits.String(), m.SentHist.Max)
+	fmt.Fprintf(&b, "  bits received: %s (max %d)\n", m.RecvBits.String(), m.RecvHist.Max)
+	return b.String()
+}
+
+// MarshalJSON renders the snapshot for machine consumers (`-metrics json`).
+// stats.Sample fields are expanded to {n, mean, stddev, min, max}.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 1024)
+	b = append(b, fmt.Sprintf(
+		`{"sessions":%d,"rounds":%d,"truncated_sessions":%d,"short_slots":%d,"long_slots":%d,"total_slots":%d,"busy_slots":%d`,
+		m.Sessions, m.Rounds, m.TruncatedSessions, m.ShortSlots, m.LongSlots, m.TotalSlots(), m.BusySlots)...)
+	b = append(b, `,"waves":`...)
+	b = m.Waves.appendJSON(b)
+	b = append(b, `,"check_slots":`...)
+	b = m.CheckSlots.appendJSON(b)
+	b = append(b, `,"sent_bits":`...)
+	b = appendSampleJSON(b, &m.SentBits)
+	b = append(b, `,"recv_bits":`...)
+	b = appendSampleJSON(b, &m.RecvBits)
+	b = append(b, `,"sent_hist":`...)
+	b = m.SentHist.appendJSON(b)
+	b = append(b, `,"recv_hist":`...)
+	b = m.RecvHist.appendJSON(b)
+	return append(b, '}'), nil
+}
+
+func appendSampleJSON(b []byte, s *stats.Sample) []byte {
+	return append(b, fmt.Sprintf(`{"n":%d,"mean":%g,"stddev":%g,"min":%g,"max":%g}`,
+		s.N(), s.Mean(), s.StdDev(), s.Min(), s.Max())...)
+}
+
+// Collector is a Tracer that reduces the event stream into a Metrics
+// snapshot, for consumers that only see events (the CLIs' `-metrics` over
+// sweeps). Safe for concurrent use.
+type Collector struct {
+	mu sync.Mutex
+	m  Metrics
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Trace folds one event into the running snapshot.
+func (c *Collector) Trace(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Kind {
+	case KindFrame:
+		c.m.Waves.Observe(int64(ev.NewBusy))
+	case KindCheck:
+		c.m.CheckSlots.Observe(ev.Slots)
+	case KindSessionEnd:
+		c.m.Sessions++
+		c.m.Rounds += int64(ev.Rounds)
+		c.m.ShortSlots += ev.ShortSlots
+		c.m.LongSlots += ev.LongSlots
+		c.m.BusySlots += int64(ev.KnownBusy)
+		if ev.Truncated {
+			c.m.TruncatedSessions++
+		}
+		c.m.SentBits.Add(ev.AvgSentBits)
+		c.m.RecvBits.Add(ev.AvgRecvBits)
+		c.m.SentHist.Observe(ev.MaxSentBits)
+		c.m.RecvHist.Observe(ev.MaxRecvBits)
+	}
+}
+
+// Snapshot returns a copy of the accumulated metrics.
+func (c *Collector) Snapshot() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m
+}

@@ -1,0 +1,262 @@
+// Package obs is the simulator's observability layer: structured trace
+// events, run-metrics snapshots, and profiling helpers.
+//
+// The paper's whole argument is about per-round convergence (the
+// information waves of §III crossing one tier per round) and per-tag cost
+// (§VI, Tables I–IV); obs makes both visible without touching the
+// simulation. Protocol code emits Events through a Tracer interface; a nil
+// Tracer costs nothing on the hot path — every emission site is guarded by
+// a nil check and the Event is a flat value type, so a disabled tracer
+// performs zero allocations and zero calls. Tracers are observe-only by
+// contract: attaching one must never change simulation results (the core
+// package's golden test pins this bit-for-bit).
+//
+// The event taxonomy (see DESIGN.md "Observability" for field semantics):
+//
+//	session_start   a protocol session begins (CCM, SICP/CICP)
+//	frame           one f-slot CCM data frame completed
+//	indicator       the §III-D indicator-vector broadcast
+//	check           the §III-E checking frame
+//	round           one full CCM round (frame + indicator + check)
+//	session_end     a session finished, with its cost totals
+//	reader_merge    a per-reader result OR-merged into a combined bitmap
+//	phase           a protocol-level step (GMLE frame, TRP round, search)
+//	slot_batch      a contiguous batch of slots run for one purpose (SICP)
+package obs
+
+import "strconv"
+
+// Kind discriminates trace events.
+type Kind uint8
+
+// The event kinds, in rough emission order within a session.
+const (
+	KindSessionStart Kind = iota + 1
+	KindFrame
+	KindIndicator
+	KindCheck
+	KindRound
+	KindSessionEnd
+	KindReaderMerge
+	KindPhase
+	KindSlotBatch
+)
+
+// String returns the snake_case name used in JSONL traces.
+func (k Kind) String() string {
+	switch k {
+	case KindSessionStart:
+		return "session_start"
+	case KindFrame:
+		return "frame"
+	case KindIndicator:
+		return "indicator"
+	case KindCheck:
+		return "check"
+	case KindRound:
+		return "round"
+	case KindSessionEnd:
+		return "session_end"
+	case KindReaderMerge:
+		return "reader_merge"
+	case KindPhase:
+		return "phase"
+	case KindSlotBatch:
+		return "slot_batch"
+	}
+	return "unknown"
+}
+
+// Protocol labels for Event.Protocol. Constants so that emission sites
+// never allocate a string.
+const (
+	ProtoCCM    = "ccm"
+	ProtoSICP   = "sicp"
+	ProtoCICP   = "cicp"
+	ProtoGMLE   = "gmle"
+	ProtoLoF    = "lof"
+	ProtoTRP    = "trp"
+	ProtoSearch = "search"
+)
+
+// Event is one structured trace record. It is a flat value type — no
+// pointers, no slices — so emitting one with a nil Tracer costs nothing and
+// emitting one with a live Tracer costs a stack copy. Fields not meaningful
+// for a given Kind are left at their zero value and omitted from the JSONL
+// encoding; consumers use jq's `// 0` defaulting (see README.md).
+type Event struct {
+	// Kind discriminates the record.
+	Kind Kind
+	// Protocol is the emitting protocol (Proto* constants).
+	Protocol string
+	// Phase labels phase and slot_batch events ("flood", "probe", …).
+	Phase string
+	// Reader identifies the reader (multi-reader deployments) or, for
+	// CLI-level parallel runs, the caller-assigned stream.
+	Reader int
+	// Round is the 1-based round (CCM) or iteration (GMLE frame, TRP
+	// execution, SICP flood tier) the event belongs to.
+	Round int
+	// FrameSize is f, the frame length in slots.
+	FrameSize int
+	// Slots is the air time this step consumed, in slots.
+	Slots int64
+	// Transmitters is the number of tags that transmitted in this step.
+	Transmitters int
+	// Bits is the number of tag bits transmitted in this step.
+	Bits int64
+	// NewBusy is the number of slots the reader first saw busy this round —
+	// the information wave arriving from one more tier out.
+	NewBusy int
+	// KnownBusy is the reader's cumulative busy-slot count.
+	KnownBusy int
+	// CheckSlots is the checking-frame length executed after the round.
+	CheckSlots int
+	// Count is a kind-specific cardinality: slots silenced (indicator),
+	// idle slots (GMLE frame), IDs collected (SICP), IDs undetermined
+	// (TRP identify), IDs found (search).
+	Count int
+	// Pending reports whether more work follows (check frames, rounds,
+	// detection executions).
+	Pending bool
+	// Tags is the deployment population visible to the session.
+	Tags int
+	// Tiers is the network tier count K.
+	Tiers int
+	// Rounds is the total rounds a finished session executed.
+	Rounds int
+	// Truncated reports a session that ended with data still in flight.
+	Truncated bool
+	// ShortSlots / LongSlots split a finished step's air time by slot kind.
+	ShortSlots int64
+	LongSlots  int64
+	// Seed is the request seed of the session or round.
+	Seed uint64
+	// Value is a kind-specific measurement: the sampling probability of a
+	// GMLE probe, the running estimate n̂, the LoF Z statistic.
+	Value float64
+	// AvgSentBits / AvgRecvBits / MaxSentBits / MaxRecvBits summarize the
+	// per-tag energy of a finished session (session_end only).
+	AvgSentBits float64
+	AvgRecvBits float64
+	MaxSentBits int64
+	MaxRecvBits int64
+}
+
+// Tracer receives structured events from the simulator. Implementations
+// must be observe-only (never influence the run) and, when shared across
+// the experiment runner's worker pool, safe for concurrent use — every
+// tracer in this package is.
+type Tracer interface {
+	Trace(Event)
+}
+
+// Multi fans events out to every non-nil tracer. It returns nil when none
+// remain, so callers can unconditionally install the result and keep the
+// nil-tracer fast path.
+func Multi(tracers ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Trace(ev Event) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// AppendJSON appends the event as one JSON object (no trailing newline).
+// Zero-valued fields are omitted except Kind; the encoding is hand-rolled
+// so that a JSONL tracer costs no reflection and no intermediate
+// allocations beyond the caller's reused buffer.
+func (e Event) AppendJSON(b []byte) []byte {
+	b = append(b, `{"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, '"')
+	b = appendStr(b, "protocol", e.Protocol)
+	b = appendStr(b, "phase", e.Phase)
+	b = appendInt(b, "reader", int64(e.Reader))
+	b = appendInt(b, "round", int64(e.Round))
+	b = appendInt(b, "frame_size", int64(e.FrameSize))
+	b = appendInt(b, "slots", e.Slots)
+	b = appendInt(b, "transmitters", int64(e.Transmitters))
+	b = appendInt(b, "bits", e.Bits)
+	b = appendInt(b, "new_busy", int64(e.NewBusy))
+	b = appendInt(b, "known_busy", int64(e.KnownBusy))
+	b = appendInt(b, "check_slots", int64(e.CheckSlots))
+	b = appendInt(b, "count", int64(e.Count))
+	b = appendBool(b, "pending", e.Pending)
+	b = appendInt(b, "tags", int64(e.Tags))
+	b = appendInt(b, "tiers", int64(e.Tiers))
+	b = appendInt(b, "rounds", int64(e.Rounds))
+	b = appendBool(b, "truncated", e.Truncated)
+	b = appendInt(b, "short_slots", e.ShortSlots)
+	b = appendInt(b, "long_slots", e.LongSlots)
+	b = appendUint(b, "seed", e.Seed)
+	b = appendFloat(b, "value", e.Value)
+	b = appendFloat(b, "avg_sent_bits", e.AvgSentBits)
+	b = appendFloat(b, "avg_recv_bits", e.AvgRecvBits)
+	b = appendInt(b, "max_sent_bits", e.MaxSentBits)
+	b = appendInt(b, "max_recv_bits", e.MaxRecvBits)
+	return append(b, '}')
+}
+
+// The append helpers omit zero values; the protocol/phase strings are
+// package constants and never need escaping.
+
+func appendStr(b []byte, key, v string) []byte {
+	if v == "" {
+		return b
+	}
+	b = appendKey(b, key)
+	b = append(b, '"')
+	b = append(b, v...)
+	return append(b, '"')
+}
+
+func appendInt(b []byte, key string, v int64) []byte {
+	if v == 0 {
+		return b
+	}
+	return strconv.AppendInt(appendKey(b, key), v, 10)
+}
+
+func appendUint(b []byte, key string, v uint64) []byte {
+	if v == 0 {
+		return b
+	}
+	return strconv.AppendUint(appendKey(b, key), v, 10)
+}
+
+func appendFloat(b []byte, key string, v float64) []byte {
+	if v == 0 {
+		return b
+	}
+	return strconv.AppendFloat(appendKey(b, key), v, 'g', -1, 64)
+}
+
+func appendBool(b []byte, key string, v bool) []byte {
+	if !v {
+		return b
+	}
+	return append(appendKey(b, key), "true"...)
+}
+
+func appendKey(b []byte, key string) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	return append(b, '"', ':')
+}

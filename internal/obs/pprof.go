@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the standard pprof pair behind the CLIs'
+// -cpuprofile/-memprofile flags. Either path may be empty to skip that
+// profile. The returned stop function stops the CPU profile and writes the
+// heap profile; callers must invoke it exactly once before exiting (the
+// CLIs defer it from their run functions so profiles survive error paths).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("obs: create heap profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // up-to-date allocation data, as `go test -memprofile` does
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("obs: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -19,6 +19,7 @@ import (
 	"netags/internal/bitmap"
 	"netags/internal/core"
 	"netags/internal/energy"
+	"netags/internal/obs"
 	"netags/internal/prng"
 	"netags/internal/topology"
 )
@@ -95,6 +96,9 @@ type Options struct {
 	// deployments with detour paths deeper than the default estimate need
 	// it to avoid truncation.
 	CheckingFrameLen int
+	// Tracer, if non-nil, receives the underlying CCM session's events plus
+	// one search phase event summarizing the bitmap evaluation.
+	Tracer obs.Tracer
 }
 
 // Outcome reports one search execution.
@@ -145,6 +149,7 @@ func Run(nw *topology.Network, presentIDs, wanted []uint64, opts Options) (*Outc
 		LossProb:         opts.LossProb,
 		LossSeed:         opts.LossSeed,
 		CheckingFrameLen: opts.CheckingFrameLen,
+		Tracer:           opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -155,7 +160,7 @@ func Run(nw *topology.Network, presentIDs, wanted []uint64, opts Options) (*Outc
 		Clock:                     res.Clock,
 		Meter:                     res.Meter,
 	}
-	out.Found, out.Absent = Evaluate(res.Bitmap, wanted, opts.Seed, opts.Hashes)
+	out.Found, out.Absent = EvaluateObserved(opts.Tracer, res.Bitmap, wanted, opts.Seed, opts.Hashes)
 	return out, nil
 }
 
@@ -180,6 +185,25 @@ func Evaluate(bm *bitmap.Bitmap, wanted []uint64, seed uint64, hashes int) (foun
 		} else {
 			absent = append(absent, id)
 		}
+	}
+	return found, absent
+}
+
+// EvaluateObserved is Evaluate plus one search phase event on t (nil t is
+// exactly Evaluate): Count is the number of wanted IDs whose slots were all
+// busy, Tags the size of the wanted list.
+func EvaluateObserved(t obs.Tracer, bm *bitmap.Bitmap, wanted []uint64, seed uint64, hashes int) (found, absent []uint64) {
+	found, absent = Evaluate(bm, wanted, seed, hashes)
+	if t != nil {
+		t.Trace(obs.Event{
+			Kind:      obs.KindPhase,
+			Protocol:  obs.ProtoSearch,
+			Phase:     "evaluate",
+			FrameSize: bm.Len(),
+			Count:     len(found),
+			Tags:      len(wanted),
+			Seed:      seed,
+		})
 	}
 	return found, absent
 }

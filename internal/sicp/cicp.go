@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"netags/internal/energy"
+	"netags/internal/obs"
 	"netags/internal/prng"
 	"netags/internal/topology"
 )
@@ -27,11 +28,14 @@ func CollectCICP(nw *topology.Network, opts Options) (*Result, error) {
 	c := &collector{
 		nw:    nw,
 		opts:  opts,
+		proto: obs.ProtoCICP,
 		src:   prng.New(opts.Seed),
 		meter: energy.NewMeter(nw.N()),
 	}
+	c.sessionStart()
 	c.buildTree()
 	c.collectContention()
+	c.sessionEnd()
 	return &Result{
 		Collected: c.collected,
 		Clock:     c.clock,
@@ -77,6 +81,7 @@ func (c *collector) collectContention() {
 
 	// Group the post-order by parent and run the contention race per
 	// sibling group, in the order groups complete.
+	start := c.clock
 	for _, u := range post {
 		if len(c.children[u]) > 0 {
 			c.race(c.children[u], buffered)
@@ -85,6 +90,7 @@ func (c *collector) collectContention() {
 		// form the reader's group below.
 	}
 	c.race(c.order, buffered)
+	c.batch("collect", 1, 0, len(c.collected), start)
 }
 
 // race resolves one sibling group: members repeatedly contend until each has

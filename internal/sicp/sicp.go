@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"netags/internal/energy"
+	"netags/internal/obs"
 	"netags/internal/prng"
 	"netags/internal/topology"
 )
@@ -46,6 +47,9 @@ type Options struct {
 	ContentionWindow int
 	// IDs assigns per-tag identifiers; nil means tag i carries uint64(i)+1.
 	IDs []uint64
+	// Tracer, if non-nil, receives session and slot-batch events (one batch
+	// per flood tier and per collection unit). Observe-only.
+	Tracer obs.Tracer
 }
 
 func (o *Options) setDefaults() {
@@ -79,11 +83,14 @@ func Collect(nw *topology.Network, opts Options) (*Result, error) {
 	c := &collector{
 		nw:    nw,
 		opts:  opts,
+		proto: obs.ProtoSICP,
 		src:   prng.New(opts.Seed),
 		meter: energy.NewMeter(nw.N()),
 	}
+	c.sessionStart()
 	c.buildTree()
 	c.collect()
+	c.sessionEnd()
 	return &Result{
 		Collected: c.collected,
 		Clock:     c.clock,
@@ -93,9 +100,10 @@ func Collect(nw *topology.Network, opts Options) (*Result, error) {
 }
 
 type collector struct {
-	nw   *topology.Network
-	opts Options
-	src  *prng.Source
+	nw    *topology.Network
+	opts  Options
+	proto string // obs.ProtoSICP or obs.ProtoCICP, for event labeling
+	src   *prng.Source
 
 	meter *energy.Meter
 	clock energy.Clock
@@ -120,6 +128,56 @@ const (
 	parentReader int32 = -1
 	parentNone   int32 = -2
 )
+
+// sessionStart emits the session_start event for the run.
+func (c *collector) sessionStart() {
+	if t := c.opts.Tracer; t != nil {
+		t.Trace(obs.Event{
+			Kind:     obs.KindSessionStart,
+			Protocol: c.proto,
+			Tags:     c.nw.N(),
+			Tiers:    c.nw.K,
+			Seed:     c.opts.Seed,
+		})
+	}
+}
+
+// sessionEnd emits the session_end event; Rounds carries the tree depth
+// (the protocol's analog of CCM's round count) and Count the IDs collected.
+func (c *collector) sessionEnd() {
+	if t := c.opts.Tracer; t != nil {
+		sum := c.meter.Summarize(nil)
+		t.Trace(obs.Event{
+			Kind:        obs.KindSessionEnd,
+			Protocol:    c.proto,
+			Rounds:      c.depth,
+			Count:       len(c.collected),
+			ShortSlots:  c.clock.ShortSlots,
+			LongSlots:   c.clock.LongSlots,
+			AvgSentBits: sum.AvgSent,
+			AvgRecvBits: sum.AvgReceived,
+			MaxSentBits: sum.MaxSent,
+			MaxRecvBits: sum.MaxReceived,
+		})
+	}
+}
+
+// batch emits one slot_batch event covering the clock interval since
+// startClock: Slots is the air time consumed, Transmitters the tags that
+// sent in it, Count a phase-specific progress figure.
+func (c *collector) batch(phase string, round, transmitters, count int, startClock energy.Clock) {
+	if t := c.opts.Tracer; t != nil {
+		t.Trace(obs.Event{
+			Kind:         obs.KindSlotBatch,
+			Protocol:     c.proto,
+			Phase:        phase,
+			Round:        round,
+			Transmitters: transmitters,
+			Slots:        c.clock.Total() - startClock.Total(),
+			Count:        count,
+		})
+	}
+}
 
 func (c *collector) id(i int) uint64 {
 	if c.opts.IDs != nil {
@@ -198,6 +256,7 @@ func (c *collector) buildTree() {
 	// globally-first transmitter of a tier claim its whole range.
 	maxTier := c.nw.K
 	for tier := 1; tier <= maxTier; tier++ {
+		start := c.clock
 		members := make([]int32, 0, 64)
 		for i := 0; i < n; i++ {
 			if int(c.nw.Tier[i]) == tier {
@@ -213,6 +272,7 @@ func (c *collector) buildTree() {
 			c.backoff()
 			c.transmit(int(u))
 		}
+		c.batch("flood", tier, len(members), len(members), start)
 	}
 	for i := 0; i < n; i++ {
 		if c.nw.Tier[i] < 2 {
@@ -292,11 +352,14 @@ func (c *collector) collect() {
 			stack = stack[:len(stack)-1]
 		}
 	}
-	for _, t1 := range c.order {
+	for si, t1 := range c.order {
 		// Reader children self-serialize by carrier sense: one contention
 		// backoff before each subtree starts.
+		start := c.clock
+		collectedBefore := len(c.collected)
 		c.backoff()
 		walk(t1)
+		c.batch("subtree", si+1, 0, len(c.collected)-collectedBefore, start)
 	}
 }
 

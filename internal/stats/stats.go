@@ -42,7 +42,8 @@ func (s *Sample) Add(x float64) {
 // Merging in a fixed order is deterministic, but the floating-point result
 // can differ in the last bits from a single sequential Add stream; callers
 // that need bit-identical aggregates should Add per-trial values in a fixed
-// order instead (as the experiment harness does).
+// order instead (as the experiment harness does). Unlike energy.Meter.Merge,
+// Merge has no size invariant and cannot fail — any two samples combine.
 func (s *Sample) Merge(o Sample) {
 	if o.n == 0 {
 		return

@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout (the Makefile's bench target pipes through it to write
+// BENCH_observability.json). Each benchmark line is kept verbatim in "raw",
+// so `jq -r '.benchmarks[].raw'` reconstructs a benchstat-compatible input,
+// alongside the parsed ns/op, B/op, and allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches the fixed prefix of a benchmark result line; the metric
+// pairs ("67264 ns/op", "20 allocs/op") are picked up separately.
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+	metric    = regexp.MustCompile(`([\d.]+)\s+(\S+)`)
+)
+
+type result struct {
+	Name string `json:"name"`
+	Iter int64  `json:"iterations"`
+	// NsPerOp, BytesPerOp, and AllocsPerOp are 0 when the line did not
+	// report that metric.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Raw         string  `json:"raw"`
+}
+
+type document struct {
+	// Goos/Goarch/Pkg/CPU echo the go test preamble when present.
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var doc document
+	preamble := map[string]*string{
+		"goos: ": &doc.Goos, "goarch: ": &doc.Goarch,
+		"pkg: ": &doc.Pkg, "cpu: ": &doc.CPU,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		for prefix, dst := range preamble {
+			if len(line) > len(prefix) && line[:len(prefix)] == prefix {
+				*dst = line[len(prefix):]
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iter, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", line, err)
+		}
+		r := result{Name: m[1], Iter: iter, Raw: line}
+		for _, pair := range metric.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			switch pair[2] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

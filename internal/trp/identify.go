@@ -5,6 +5,7 @@ import (
 
 	"netags/internal/core"
 	"netags/internal/energy"
+	"netags/internal/obs"
 	"netags/internal/prng"
 	"netags/internal/topology"
 )
@@ -31,6 +32,10 @@ type IdentifyOptions struct {
 	MaxRounds int
 	// Seed derives the per-round request seeds.
 	Seed uint64
+	// Tracer, if non-nil, receives the underlying CCM sessions' events plus
+	// one trp phase event per round (Phase "identify", Count = IDs still
+	// undetermined after the round).
+	Tracer obs.Tracer
 }
 
 // IdentifyResult reports an identification run.
@@ -95,13 +100,16 @@ func Identify(nw *topology.Network, inventory, presentIDs []uint64, opts Identif
 			Seed:      seed,
 			Sampling:  1,
 			IDs:       presentIDs,
+			Tracer:    opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
 		}
 		out.Rounds++
 		out.Clock.Add(res.Clock)
-		out.Meter.Merge(res.Meter)
+		if err := out.Meter.Merge(res.Meter); err != nil {
+			return nil, fmt.Errorf("trp: identify round %d: %w", out.Rounds, err)
+		}
 
 		// Group the inventory by slot for this seed.
 		slotIDs := make(map[int][]uint64, len(inventory))
@@ -136,6 +144,17 @@ func Identify(nw *topology.Network, inventory, presentIDs []uint64, opts Identif
 				state[candidate] = present
 				undetermined--
 			}
+		}
+		if t := opts.Tracer; t != nil {
+			t.Trace(obs.Event{
+				Kind:      obs.KindPhase,
+				Protocol:  obs.ProtoTRP,
+				Phase:     "identify",
+				Round:     out.Rounds,
+				FrameSize: f,
+				Count:     undetermined,
+				Seed:      seed,
+			})
 		}
 	}
 

@@ -17,6 +17,7 @@ import (
 	"netags/internal/bitmap"
 	"netags/internal/core"
 	"netags/internal/energy"
+	"netags/internal/obs"
 	"netags/internal/prng"
 	"netags/internal/topology"
 )
@@ -169,6 +170,10 @@ type Options struct {
 	LossSeed uint64
 	// CheckingFrameLen overrides the session's L_c bound (see core.Config).
 	CheckingFrameLen int
+	// Tracer, if non-nil, receives the underlying CCM session's events plus
+	// one trp phase event per detection (Phase "detect", Count = empty
+	// predicted-busy slots found).
+	Tracer obs.Tracer
 }
 
 // Run executes one TRP detection over the network: the reader plans with the
@@ -212,6 +217,7 @@ func Run(nw *topology.Network, inventory, presentIDs []uint64, opts Options) (*O
 		LossProb:         opts.LossProb,
 		LossSeed:         opts.LossSeed,
 		CheckingFrameLen: opts.CheckingFrameLen,
+		Tracer:           opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -219,6 +225,17 @@ func Run(nw *topology.Network, inventory, presentIDs []uint64, opts Options) (*O
 	det, err := plan.Detect(res.Bitmap)
 	if err != nil {
 		return nil, err
+	}
+	if t := opts.Tracer; t != nil {
+		t.Trace(obs.Event{
+			Kind:      obs.KindPhase,
+			Protocol:  obs.ProtoTRP,
+			Phase:     "detect",
+			FrameSize: f,
+			Count:     len(det.EmptySlots),
+			Pending:   det.Missing,
+			Seed:      opts.Seed,
+		})
 	}
 	return &Outcome{
 		Detection: det,
@@ -249,7 +266,9 @@ func RunRepeated(nw *topology.Network, inventory, presentIDs []uint64, opts Opti
 		}
 		total.Rounds += out.Rounds
 		total.Clock.Add(out.Clock)
-		total.Meter.Merge(out.Meter)
+		if err := total.Meter.Merge(out.Meter); err != nil {
+			return nil, exec, fmt.Errorf("trp: execution %d: %w", exec, err)
+		}
 		if out.Missing {
 			total.Detection = out.Detection
 			return &total, exec, nil

@@ -8,6 +8,7 @@ import (
 	"netags/internal/energy"
 	"netags/internal/gmle"
 	"netags/internal/lof"
+	"netags/internal/obs"
 	"netags/internal/prng"
 	"netags/internal/search"
 	"netags/internal/sicp"
@@ -107,6 +108,7 @@ func (s *System) EstimateCardinality(opts EstimateOptions) (*EstimateResult, err
 			MaxFrames: opts.MaxFrames,
 			Seed:      opts.Seed,
 			LossProb:  opts.LossProb,
+			Tracer:    s.tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -125,6 +127,7 @@ func (s *System) EstimateCardinality(opts EstimateOptions) (*EstimateResult, err
 			FrameSize: opts.FrameSize,
 			Seed:      opts.Seed,
 			LossProb:  opts.LossProb,
+			Tracer:    s.tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -183,6 +186,7 @@ func (s *System) IdentifyMissing(inventory []uint64, opts IdentifyOptions) (*Ide
 		FrameSize: opts.FrameSize,
 		MaxRounds: opts.MaxRounds,
 		Seed:      opts.Seed,
+		Tracer:    s.tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -302,7 +306,21 @@ func (s *System) DetectMissing(inventory []uint64, opts DetectOptions) (*DetectR
 		out.Truncated = out.Truncated || res.Truncated
 		out.UnknownTags = out.UnknownTags || len(det.UnexpectedBusy) > 0
 		clock.Add(res.Clock)
-		meter.Merge(res.Meter)
+		if err := meter.Merge(res.Meter); err != nil {
+			return nil, fmt.Errorf("netags: execution %d: %w", exec, err)
+		}
+		if t := s.tracer; t != nil {
+			t.Trace(obs.Event{
+				Kind:      obs.KindPhase,
+				Protocol:  obs.ProtoTRP,
+				Phase:     "detect",
+				Round:     exec,
+				FrameSize: f,
+				Count:     len(det.EmptySlots),
+				Pending:   det.Missing,
+				Seed:      seed,
+			})
+		}
 		if det.Missing {
 			out.Missing = true
 			out.Suspects = det.Suspects
@@ -377,7 +395,7 @@ func (s *System) SearchTags(wanted []uint64, opts SearchOptions) (*SearchResult,
 	if err != nil {
 		return nil, err
 	}
-	found, absent := search.Evaluate(res.Bitmap, wanted, opts.Seed, opts.Hashes)
+	found, absent := search.EvaluateObserved(s.tracer, res.Bitmap, wanted, opts.Seed, opts.Hashes)
 	return &SearchResult{
 		Found:                     found,
 		Absent:                    absent,
@@ -419,6 +437,7 @@ func (s *System) CollectIDs(opts CollectOptions) (*CollectResult, error) {
 		Seed:             opts.Seed,
 		ContentionWindow: opts.ContentionWindow,
 		IDs:              s.ids,
+		Tracer:           s.tracer,
 	}
 	run := sicp.Collect
 	if opts.Contention {
@@ -440,7 +459,9 @@ func (s *System) CollectIDs(opts CollectOptions) (*CollectResult, error) {
 			}
 		}
 		clock.Add(res.Clock)
-		meter.Merge(res.Meter)
+		if err := meter.Merge(res.Meter); err != nil {
+			return nil, fmt.Errorf("netags: reader %d: %w", ri, err)
+		}
 		if res.TreeDepth > out.TreeDepth {
 			out.TreeDepth = res.TreeDepth
 		}

@@ -6,6 +6,7 @@ import (
 	"netags/internal/core"
 	"netags/internal/energy"
 	"netags/internal/geom"
+	"netags/internal/obs"
 	"netags/internal/topology"
 )
 
@@ -89,6 +90,7 @@ type System struct {
 	ids         []uint64
 	idIndex     map[uint64]int
 	reachable   int
+	tracer      obs.Tracer
 }
 
 // NewSystem samples a deployment and derives its network structure.
@@ -248,6 +250,18 @@ func (s *System) RemoveTags(ids []uint64) (*System, error) {
 	return ns, nil
 }
 
+// WithTracer returns a copy of the system that feeds the structured event
+// stream of every subsequent operation to t (see internal/obs for event
+// kinds and concrete tracers). Tracers are observe-only: the simulation's
+// results are bit-identical with or without one. A nil t returns a copy
+// with tracing off. The tracer does not survive RemoveTags (that models a
+// physically different deployment); re-attach if needed.
+func (s *System) WithTracer(t obs.Tracer) *System {
+	ns := *s
+	ns.tracer = t
+	return &ns
+}
+
 // DirectCoverage returns the number of tags a traditional one-hop RFID
 // system would reach: within tag→reader range of a reader with a clear line
 // of sight. The gap between this and Reachable is what multi-hop relaying
@@ -272,12 +286,17 @@ func (s *System) runSession(cfg core.Config) (*core.Result, error) {
 	if cfg.CheckingFrameLen == 0 {
 		cfg.CheckingFrameLen = s.checkingLen
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = s.tracer
+	}
 	if len(s.networks) == 1 {
 		return core.RunSession(s.networks[0], cfg)
 	}
 	combined := &core.Result{Meter: energy.NewMeter(s.deployment.N())}
 	for ri, nw := range s.networks {
-		res, err := core.RunSession(nw, cfg)
+		rcfg := cfg
+		rcfg.Reader = ri
+		res, err := core.RunSession(nw, rcfg)
 		if err != nil {
 			return nil, fmt.Errorf("netags: reader %d: %w", ri, err)
 		}
@@ -287,11 +306,23 @@ func (s *System) runSession(cfg core.Config) (*core.Result, error) {
 			combined.Bitmap.Or(res.Bitmap)
 		}
 		combined.Clock.Add(res.Clock)
-		combined.Meter.Merge(res.Meter)
+		if err := combined.Meter.Merge(res.Meter); err != nil {
+			return nil, fmt.Errorf("netags: reader %d: %w", ri, err)
+		}
 		if res.Rounds > combined.Rounds {
 			combined.Rounds = res.Rounds
 		}
 		combined.Truncated = combined.Truncated || res.Truncated
+		if t := cfg.Tracer; t != nil {
+			t.Trace(obs.Event{
+				Kind:      obs.KindReaderMerge,
+				Protocol:  obs.ProtoCCM,
+				Reader:    ri,
+				Count:     res.Bitmap.Count(),
+				KnownBusy: combined.Bitmap.Count(),
+				Rounds:    res.Rounds,
+			})
+		}
 	}
 	return combined, nil
 }
