@@ -1,10 +1,26 @@
-# Tier-1 verification: build, vet, full test suite, and the experiment
-# harness's worker pool under the race detector (see ROADMAP.md).
+# Tier-1 verification: build, vet, full test suite (property harness and
+# examples included), and the concurrency-bearing packages plus the CCM core
+# and property suites under the race detector (see ROADMAP.md). Set FUZZ=1
+# to also smoke the native fuzz targets (see fuzz-smoke).
 verify:
 	go build ./...
 	go vet ./...
 	go test ./...
-	go test -race ./internal/experiment/...
+	go test -race ./internal/core/... ./internal/obs/... ./internal/simtest/... ./internal/experiment/...
+ifeq ($(FUZZ),1)
+	$(MAKE) fuzz-smoke
+endif
+
+# Short coverage-guided runs of every native fuzz target, one at a time (the
+# go tool accepts a single -fuzz pattern per package invocation). The
+# checked-in corpora under */testdata/fuzz/ always run as plain tests; this
+# target additionally mutates for FUZZTIME per target.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzBitmapOps$$' -fuzztime $(FUZZTIME) ./internal/bitmap/
+	go test -run '^$$' -fuzz '^FuzzDeriveSeed$$' -fuzztime $(FUZZTIME) ./internal/prng/
+	go test -run '^$$' -fuzz '^FuzzTopologyTiers$$' -fuzztime $(FUZZTIME) ./internal/topology/
+	go test -run '^$$' -fuzz '^FuzzSession$$' -fuzztime $(FUZZTIME) ./internal/simtest/
 
 # Sequential-vs-parallel sweep benchmark (one full Quick() sweep each;
 # results are bit-identical, only the wall clock differs).
@@ -18,4 +34,4 @@ bench:
 	go test -bench=SessionTracer -benchmem -count=5 -run='^$$' ./internal/core/ \
 		| tee /dev/stderr | go run ./internal/tools/benchjson > BENCH_observability.json
 
-.PHONY: verify bench bench-sweep
+.PHONY: verify fuzz-smoke bench bench-sweep

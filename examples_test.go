@@ -1,0 +1,45 @@
+package netags_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamples go-runs every program under examples/ and asserts it exits 0
+// with non-empty output — the examples double as end-to-end smoke tests of
+// the public surface, and this keeps them from rotting as the APIs move.
+// The full set takes ~45s of simulation on one core, so -short skips it
+// (the tier-1 `make verify` run still covers it).
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take ~45s of simulation; run without -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no example programs found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run failed: %v\nstderr:\n%s", err, stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

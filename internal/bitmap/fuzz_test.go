@@ -1,0 +1,109 @@
+package bitmap
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzBitmapOps drives two bitmaps through an arbitrary op script while
+// mirroring every mutation into map-based model sets, then checks that all
+// queries agree with the model. The bitmap package is the substrate every
+// protocol's state lives in, so a silent word-boundary bug here would
+// corrupt everything above it.
+func FuzzBitmapOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 0, 63, 1, 64, 2, 65}, uint16(130))
+	f.Add([]byte{}, uint16(1))
+	f.Add([]byte{3, 0, 3, 255, 4, 128}, uint16(64))
+	f.Fuzz(func(t *testing.T, script []byte, nBits uint16) {
+		n := 1 + int(nBits)%512
+		a, b := New(n), New(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+
+		for pc := 0; pc+1 < len(script); pc += 2 {
+			op, idx := script[pc]%6, int(script[pc+1])%n
+			switch op {
+			case 0:
+				a.Set(idx)
+				ma[idx] = true
+			case 1:
+				a.Clear(idx)
+				delete(ma, idx)
+			case 2:
+				b.Set(idx)
+				mb[idx] = true
+			case 3:
+				a.Or(b)
+				for i := range mb {
+					ma[i] = true
+				}
+			case 4:
+				a.AndNot(b)
+				for i := range mb {
+					delete(ma, i)
+				}
+			case 5:
+				b.Reset()
+				mb = map[int]bool{}
+			}
+		}
+
+		check := func(name string, bm *Bitmap, model map[int]bool) {
+			if bm.Count() != len(model) {
+				t.Fatalf("%s: Count=%d, model has %d", name, bm.Count(), len(model))
+			}
+			if bm.Zeros() != n-len(model) {
+				t.Fatalf("%s: Zeros=%d, want %d", name, bm.Zeros(), n-len(model))
+			}
+			if bm.Any() != (len(model) > 0) {
+				t.Fatalf("%s: Any=%v with %d model bits", name, bm.Any(), len(model))
+			}
+			for i := 0; i < n; i++ {
+				if bm.Get(i) != model[i] {
+					t.Fatalf("%s: Get(%d)=%v, model %v", name, i, bm.Get(i), model[i])
+				}
+			}
+			want := make([]int, 0, len(model))
+			for i := range model {
+				want = append(want, i)
+			}
+			sort.Ints(want)
+			got := bm.Indices()
+			if len(got) != len(want) {
+				t.Fatalf("%s: Indices has %d entries, want %d", name, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: Indices[%d]=%d, want %d", name, i, got[i], want[i])
+				}
+			}
+			if c := bm.Clone(); !c.Equal(bm) || !bm.Equal(c) {
+				t.Fatalf("%s: clone not Equal", name)
+			}
+		}
+		check("a", a, ma)
+		check("b", b, mb)
+
+		wantContains := true
+		for i := range mb {
+			if !ma[i] {
+				wantContains = false
+				break
+			}
+		}
+		if a.ContainsAll(b) != wantContains {
+			t.Fatalf("ContainsAll=%v, model says %v", a.ContainsAll(b), wantContains)
+		}
+
+		u := a.Clone()
+		u.Or(b)
+		if !u.ContainsAll(a) || !u.ContainsAll(b) {
+			t.Fatal("a|b does not contain both operands")
+		}
+		d := u.Clone()
+		d.AndNot(b)
+		d.Or(b)
+		if !d.Equal(u) {
+			t.Fatal("(u &^ b) | b != u for u ⊇ b")
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"netags/internal/geom"
+	"netags/internal/topology"
+)
+
+// TestRegressionSeed0xda53caa1dd258d4 is the minimized repro of the first
+// bug the simtest property harness surfaced (replay the original with
+// simtest.NewScenario(0xda53caa1dd258d4), property CCMOutOfSystemTagsInert):
+// tags with Tier == 0 are outside the system per §II, but the session still
+// treated them as listeners — they were charged monitoring and
+// indicator-vector energy every round, joined checking frames, and, when
+// they sat within tag-to-tag range of reachable tags (possible as soon as a
+// deployment spills past the reader's broadcast range R), even transmitted
+// as phantom relays. The minimized topologies below pin the fixed behavior.
+func TestRegressionSeed0xda53caa1dd258d4(t *testing.T) {
+	t.Run("in-fov disconnected tag is uncharged", func(t *testing.T) {
+		// Tag 0 is tier 1; tag 1 sits inside the field of view (25 < R=30)
+		// but beyond r' = 20 and beyond r = 6 of tag 0: tier 0.
+		d := &geom.Deployment{
+			Tags:    []geom.Point{{X: 19}, {X: -25}},
+			Readers: []geom.Point{{}},
+			Radius:  30,
+		}
+		nw, err := topology.Build(d, 0, topology.PaperRanges(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.Tier[1] != 0 {
+			t.Fatalf("fixture broken: tag 1 tier %d, want 0", nw.Tier[1])
+		}
+		res, err := RunSession(nw, Config{FrameSize: 128, Seed: 9, Sampling: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, r := res.Meter.Sent(1), res.Meter.Received(1); s != 0 || r != 0 {
+			t.Errorf("out-of-system tag metered sent=%d recv=%d, want 0/0", s, r)
+		}
+	})
+
+	t.Run("out-of-fov tag never phantom-relays", func(t *testing.T) {
+		// A relay chain at x = 19, 24, 29 plus a tag at x = 34: outside the
+		// broadcast range R = 30 (it can never hear the request) yet within
+		// r = 6 of the chain's tail. Before the fix it transmitted relayed
+		// slots and skewed the air-time clock; deleting it must change
+		// nothing.
+		d := &geom.Deployment{
+			Tags:    []geom.Point{{X: 19}, {X: 24}, {X: 29}, {X: 34}},
+			Readers: []geom.Point{{}},
+			Radius:  40,
+		}
+		nw, err := topology.Build(d, 0, topology.PaperRanges(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.Tier[3] != 0 {
+			t.Fatalf("fixture broken: tag 3 tier %d, want 0", nw.Tier[3])
+		}
+		cfg := Config{FrameSize: 8, Seed: 1, Sampling: 1, MaxRounds: 16, CheckingFrameLen: 16}
+		res, err := RunSession(nw, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, r := res.Meter.Sent(3), res.Meter.Received(3); s != 0 || r != 0 {
+			t.Errorf("out-of-fov tag metered sent=%d recv=%d, want 0/0", s, r)
+		}
+
+		trimmed, _ := d.Remove([]int{3})
+		tnw, err := topology.Build(trimmed, 0, topology.PaperRanges(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tres, err := RunSession(tnw, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tres.Bitmap.Equal(res.Bitmap) || tres.Rounds != res.Rounds ||
+			tres.Clock != res.Clock || tres.Truncated != res.Truncated {
+			t.Errorf("deleting the out-of-fov tag changed the session: rounds %d→%d clock %+v→%+v",
+				res.Rounds, tres.Rounds, res.Clock, tres.Clock)
+		}
+	})
+}

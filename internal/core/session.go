@@ -93,6 +93,19 @@ func RunSession(nw *topology.Network, cfg Config) (*Result, error) {
 		s.loss = prng.New(cfg.LossSeed)
 	}
 	for i := 0; i < n; i++ {
+		if nw.Tier[i] == 0 {
+			// Tags that cannot reach the reader are outside the system
+			// (§II) — out of the field of view they never hear the request,
+			// and either way their data can never arrive. They hold no slot
+			// state, never listen or relay, and consume no energy (the same
+			// boundary sicp draws with its asleep set). Silencing their
+			// whole row keeps the delivery loop branch-free.
+			row := s.state[i*s.f : (i+1)*s.f]
+			for j := range row {
+				row[j] = slotSilenced
+			}
+			continue
+		}
 		s.unknownCount[i] = int32(s.f)
 		s.tier1[i] = nw.Tier[i] == 1
 	}
@@ -335,6 +348,9 @@ func (s *session) runRound(res *Result, round int) (txTags, txBits int) {
 	segments := int64((s.f + energy.IDBits - 1) / energy.IDBits)
 	s.clock.LongSlots += segments
 	for i := 0; i < n; i++ {
+		if s.nw.Tier[i] == 0 {
+			continue // outside the system: receives nothing
+		}
 		s.meter.AddReceived(i, segments*energy.IDBits)
 	}
 	// Tags silence the newly announced slots: monitoring stops, and any
@@ -378,6 +394,10 @@ func (s *session) runCheckingFrame(res *Result, round int) bool {
 	responded := make([]bool, n)
 	var wave []int32 // tags transmitting in the current checking slot
 	for i := 0; i < n; i++ {
+		// Out-of-system tags (§II) neither monitor the checking frame nor
+		// relay its wave; marking them responded keeps them silent and
+		// uncharged for the whole frame.
+		responded[i] = s.nw.Tier[i] == 0
 		if s.schedCount[i] > 0 {
 			responded[i] = true
 			wave = append(wave, int32(i))

@@ -1,0 +1,199 @@
+package simtest
+
+import (
+	"testing"
+
+	"netags/internal/core"
+	"netags/internal/energy"
+	"netags/internal/geom"
+	"netags/internal/topology"
+)
+
+// sessionClockInvariant checks the exact air-time accounting: short slots are
+// the f-slot frames plus the checking slots; long slots are one request plus
+// ⌈f/96⌉ indicator segments per round (unless the indicator is disabled).
+func sessionClockInvariant(t *testing.T, sc *Scenario, cfg core.Config, res *core.Result) {
+	t.Helper()
+	short := int64(res.Rounds * cfg.FrameSize)
+	for _, cs := range res.CheckSlotsPerRound {
+		short += int64(cs)
+	}
+	long := int64(res.Rounds)
+	if !cfg.DisableIndicatorVector {
+		long += int64(res.Rounds) * int64((cfg.FrameSize+energy.IDBits-1)/energy.IDBits)
+	}
+	if res.Clock.ShortSlots != short || res.Clock.LongSlots != long {
+		t.Errorf("%v seed %#x: clock %+v, want short %d long %d",
+			sc.Shape, sc.Seed, res.Clock, short, long)
+	}
+}
+
+// TestCCMTheorem1Differential is the paper's central claim as a property:
+// on every generated scenario and config, a reliable-channel CCM session
+// completes untruncated and delivers exactly core.DirectBitmap — the OR of
+// picks a collision-free single-hop reader would see.
+func TestCCMTheorem1Differential(t *testing.T) {
+	ForEach(t, 0x7e01, func(t *testing.T, sc *Scenario) {
+		cfg := sc.NewConfig(sc.Source(1))
+		res, err := core.RunSession(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+		want, err := core.DirectBitmap(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: direct: %v", sc.Shape, sc.Seed, err)
+		}
+		if res.Truncated {
+			t.Errorf("%v seed %#x: session truncated despite MaxRounds=K+2 (K=%d, rounds=%d)",
+				sc.Shape, sc.Seed, sc.Network.K, res.Rounds)
+		}
+		if !res.Bitmap.Equal(want) {
+			t.Errorf("%v seed %#x: bitmap %v != direct %v", sc.Shape, sc.Seed, res.Bitmap, want)
+		}
+		totalNew := 0
+		for _, nb := range res.NewBusyPerRound {
+			totalNew += nb
+		}
+		if totalNew != res.Bitmap.Count() {
+			t.Errorf("%v seed %#x: per-round deliveries sum to %d, bitmap has %d",
+				sc.Shape, sc.Seed, totalNew, res.Bitmap.Count())
+		}
+		sessionClockInvariant(t, sc, cfg, res)
+	})
+}
+
+// TestCCMReplayDeterminism runs every generated session twice and demands
+// bit-identical results — the property every "same seed → same run"
+// debugging workflow in this repository rests on.
+func TestCCMReplayDeterminism(t *testing.T) {
+	ForEach(t, 0x7e02, func(t *testing.T, sc *Scenario) {
+		cfg := sc.NewConfig(sc.Source(2))
+		cfg.LossProb = 0.3 // determinism must hold on the lossy channel too
+		cfg.LossSeed = sc.Seed
+		a, err := core.RunSession(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+		b, err := core.RunSession(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+		if !a.Bitmap.Equal(b.Bitmap) || a.Rounds != b.Rounds || a.Clock != b.Clock || a.Truncated != b.Truncated {
+			t.Fatalf("%v seed %#x: replay diverged", sc.Shape, sc.Seed)
+		}
+		for i := 0; i < a.Meter.N(); i++ {
+			if a.Meter.Sent(i) != b.Meter.Sent(i) || a.Meter.Received(i) != b.Meter.Received(i) {
+				t.Fatalf("%v seed %#x: tag %d meter diverged on replay", sc.Shape, sc.Seed, i)
+			}
+		}
+	})
+}
+
+// TestCCMSoundnessUnderLoss checks the lossy channel can only lose
+// information, never invent it: whatever the loss rate, the collected bitmap
+// is a subset of the direct bitmap, and the structural invariants hold.
+func TestCCMSoundnessUnderLoss(t *testing.T) {
+	ForEach(t, 0x7e03, func(t *testing.T, sc *Scenario) {
+		src := sc.Source(3)
+		cfg := sc.NewConfig(src)
+		cfg.LossProb = 0.9 * src.Float64()
+		cfg.LossSeed = src.Uint64()
+		res, err := core.RunSession(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+		want, err := core.DirectBitmap(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: direct: %v", sc.Shape, sc.Seed, err)
+		}
+		if !want.ContainsAll(res.Bitmap) {
+			t.Errorf("%v seed %#x: lossy bitmap has phantom bits (loss %.2f)",
+				sc.Shape, sc.Seed, cfg.LossProb)
+		}
+		for i := 0; i < res.Meter.N(); i++ {
+			if res.Meter.Sent(i) < 0 || res.Meter.Received(i) < 0 {
+				t.Fatalf("%v seed %#x: tag %d negative meter", sc.Shape, sc.Seed, i)
+			}
+		}
+		sessionClockInvariant(t, sc, cfg, res)
+	})
+}
+
+// TestCCMOutOfSystemTagsInert checks §II's boundary: tags that cannot reach
+// the reader are outside the system. They must consume no energy, transmit
+// nothing, and their presence must not change what the in-system tags and
+// the reader experience — deleting them from the deployment yields the
+// byte-identical session.
+func TestCCMOutOfSystemTagsInert(t *testing.T) {
+	ForEach(t, 0x7e04, func(t *testing.T, sc *Scenario) {
+		nw := sc.Network
+		if nw.Reachable == nw.N() {
+			return // nothing out of system in this scenario
+		}
+		src := sc.Source(4)
+		cfg := sc.NewConfig(src)
+		// Pin IDs by original index so the repacked deployment below keeps
+		// each physical tag's identity (the default idx+1 IDs would shift).
+		if cfg.IDs == nil {
+			ids := make([]uint64, nw.N())
+			for i := range ids {
+				ids[i] = uint64(i) + 1
+			}
+			cfg.IDs = ids
+		}
+		res, err := core.RunSession(nw, cfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+		for i := 0; i < nw.N(); i++ {
+			if nw.Tier[i] != 0 {
+				continue
+			}
+			if s, r := res.Meter.Sent(i), res.Meter.Received(i); s != 0 || r != 0 {
+				t.Errorf("%v seed %#x: out-of-system tag %d metered sent=%d recv=%d",
+					sc.Shape, sc.Seed, i, s, r)
+			}
+		}
+
+		// Re-run on the deployment with the out-of-system tags deleted.
+		var gone []int
+		for i := 0; i < nw.N(); i++ {
+			if nw.Tier[i] == 0 {
+				gone = append(gone, i)
+			}
+		}
+		trimmed, orig := sc.Deployment.Remove(gone)
+		tnw, err := buildLike(sc, trimmed)
+		if err != nil {
+			t.Fatalf("%v seed %#x: trimmed build: %v", sc.Shape, sc.Seed, err)
+		}
+		tcfg := cfg
+		tcfg.IDs = make([]uint64, len(orig))
+		for ni, oi := range orig {
+			tcfg.IDs[ni] = cfg.IDs[oi]
+		}
+		tres, err := core.RunSession(tnw, tcfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: trimmed session: %v", sc.Shape, sc.Seed, err)
+		}
+		if !tres.Bitmap.Equal(res.Bitmap) || tres.Rounds != res.Rounds ||
+			tres.Truncated != res.Truncated || tres.Clock != res.Clock {
+			t.Errorf("%v seed %#x: deleting %d out-of-system tags changed the session "+
+				"(rounds %d→%d, truncated %v→%v)", sc.Shape, sc.Seed, len(gone),
+				res.Rounds, tres.Rounds, res.Truncated, tres.Truncated)
+		}
+		for ni, oi := range orig {
+			if tres.Meter.Sent(ni) != res.Meter.Sent(oi) || tres.Meter.Received(ni) != res.Meter.Received(oi) {
+				t.Errorf("%v seed %#x: in-system tag %d energy changed when out-of-system tags were deleted",
+					sc.Shape, sc.Seed, oi)
+				break
+			}
+		}
+	})
+}
+
+// buildLike rebuilds a network for a modified deployment under the
+// scenario's ranges and obstacles.
+func buildLike(sc *Scenario, d *geom.Deployment) (*topology.Network, error) {
+	return topology.BuildObstructed(d, 0, sc.Ranges, sc.Obstacles)
+}

@@ -1,0 +1,80 @@
+package simtest
+
+import (
+	"testing"
+
+	"netags/internal/core"
+	"netags/internal/prng"
+)
+
+// FuzzSession throws fuzzer-chosen scenarios and session configs at the full
+// CCM stack and holds every run to the invariants the property suites pin:
+// bit-identical replay, soundness against the direct bitmap (with equality
+// and guaranteed termination on the reliable channel), the air-time clock
+// identity, and inert out-of-system tags.
+func FuzzSession(f *testing.F) {
+	f.Add(uint64(1), uint16(32), uint16(0), uint16(0))
+	f.Add(uint64(0xda53caa1dd258d4), uint16(128), uint16(1), uint16(0))
+	f.Add(uint64(7), uint16(8), uint16(2), uint16(431))
+	f.Add(uint64(0xfeedface), uint16(299), uint16(5), uint16(900))
+	f.Fuzz(func(t *testing.T, seed uint64, frameBits, styleBits, lossBits uint16) {
+		sc := NewScenario(seed)
+		k := sc.Network.K
+		cfg := core.Config{
+			FrameSize:        1 + int(frameBits)%300,
+			Seed:             prng.DeriveSeed(seed, uint64(styleBits)),
+			CheckingFrameLen: k + 2,
+			MaxRounds:        k + 2,
+			LossProb:         float64(lossBits%950) / 1000,
+			LossSeed:         prng.DeriveSeed(seed, uint64(lossBits)),
+		}
+		switch styleBits % 3 {
+		case 0:
+			cfg.Sampling = 1
+		case 1:
+			cfg.Sampling = 0.05 + 0.9*float64(styleBits%64)/64
+		case 2:
+			cfg.Sampling = 1
+			cfg.IDs = RandomIDs(sc.Source(uint64(styleBits)), sc.Network.N())
+		}
+
+		res, err := core.RunSession(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		again, err := core.RunSession(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("seed %#x: replay: %v", seed, err)
+		}
+		if !again.Bitmap.Equal(res.Bitmap) || again.Rounds != res.Rounds ||
+			again.Truncated != res.Truncated || again.Clock != res.Clock {
+			t.Fatalf("seed %#x: replay diverged", seed)
+		}
+
+		direct, err := core.DirectBitmap(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("seed %#x: direct: %v", seed, err)
+		}
+		if !direct.ContainsAll(res.Bitmap) {
+			t.Fatalf("seed %#x: session reported a slot no reachable tag picked", seed)
+		}
+		if cfg.LossProb == 0 {
+			if res.Truncated {
+				t.Fatalf("seed %#x: truncated on a reliable channel with L_c = K+2", seed)
+			}
+			if !res.Bitmap.Equal(direct) {
+				t.Fatalf("seed %#x: Theorem 1 violated on a reliable channel", seed)
+			}
+		}
+
+		sessionClockInvariant(t, sc, cfg, res)
+		for i := 0; i < sc.Network.N(); i++ {
+			if res.Meter.Sent(i) < 0 || res.Meter.Received(i) < 0 {
+				t.Fatalf("seed %#x: tag %d negative meter", seed, i)
+			}
+			if sc.Network.Tier[i] == 0 && (res.Meter.Sent(i) != 0 || res.Meter.Received(i) != 0) {
+				t.Fatalf("seed %#x: out-of-system tag %d metered", seed, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package simtest
+
+import "testing"
+
+// TestScenarioDeterminism pins the replay contract: the same seed always
+// rebuilds the identical scenario, down to every tag position and tier.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, seed := range ScenarioSeeds(0xdead, NumScenarios()) {
+		a, b := NewScenario(seed), NewScenario(seed)
+		if a.Shape != b.Shape || a.Ranges != b.Ranges {
+			t.Fatalf("seed %#x: shape/ranges differ between builds", seed)
+		}
+		if len(a.Deployment.Tags) != len(b.Deployment.Tags) {
+			t.Fatalf("seed %#x: tag counts differ", seed)
+		}
+		for i := range a.Deployment.Tags {
+			if a.Deployment.Tags[i] != b.Deployment.Tags[i] {
+				t.Fatalf("seed %#x: tag %d position differs", seed, i)
+			}
+		}
+		for i := range a.Network.Tier {
+			if a.Network.Tier[i] != b.Network.Tier[i] {
+				t.Fatalf("seed %#x: tag %d tier differs", seed, i)
+			}
+		}
+		if a.Network.K != b.Network.K || a.Network.Reachable != b.Network.Reachable {
+			t.Fatalf("seed %#x: K/Reachable differ", seed)
+		}
+	}
+}
+
+// TestScenarioShapeCoverage checks the generator actually exercises every
+// family within one property's scenario budget.
+func TestScenarioShapeCoverage(t *testing.T) {
+	seen := make(map[Shape]int)
+	for _, seed := range ScenarioSeeds(0xbeef, NumScenarios()) {
+		seen[NewScenario(seed).Shape]++
+	}
+	for s := Shape(0); s < numShapes; s++ {
+		if seen[s] == 0 {
+			t.Errorf("shape %v never generated in %d scenarios", s, NumScenarios())
+		}
+	}
+}
+
+// TestScenarioShapePinned checks NewScenarioShape replays a scenario inside
+// its family with the rest of the stream aligned to NewScenario's.
+func TestScenarioShapePinned(t *testing.T) {
+	for _, seed := range ScenarioSeeds(0xfeed, 32) {
+		want := NewScenario(seed)
+		got := NewScenarioShape(seed, want.Shape)
+		if got.Ranges != want.Ranges || len(got.Deployment.Tags) != len(want.Deployment.Tags) {
+			t.Fatalf("seed %#x: NewScenarioShape diverged from NewScenario", seed)
+		}
+	}
+}
+
+// TestTopologyMatchesBruteForce is the differential oracle for
+// topology.Build: the grid-bucketed adjacency plus BFS must agree with an
+// O(n²) recomputation from raw geometry on every generated scenario.
+func TestTopologyMatchesBruteForce(t *testing.T) {
+	ForEach(t, 0x70b0, func(t *testing.T, sc *Scenario) {
+		want := BruteTiers(sc.Deployment, 0, sc.Ranges, sc.Obstacles)
+		nw := sc.Network
+		reach, maxTier := 0, int16(0)
+		for i, w := range want {
+			if nw.Tier[i] != w {
+				t.Errorf("%v seed %#x: tag %d tier %d, brute force says %d",
+					sc.Shape, sc.Seed, i, nw.Tier[i], w)
+			}
+			if w > 0 {
+				reach++
+			}
+			if w > maxTier {
+				maxTier = w
+			}
+		}
+		if nw.Reachable != reach {
+			t.Errorf("%v seed %#x: Reachable %d, brute force says %d", sc.Shape, sc.Seed, nw.Reachable, reach)
+		}
+		if nw.K != int(maxTier) {
+			t.Errorf("%v seed %#x: K %d, brute force says %d", sc.Shape, sc.Seed, nw.K, maxTier)
+		}
+	})
+}
+
+// TestTopologyAdjacencySymmetric checks the CSR adjacency is symmetric and
+// honors the tag-to-tag range on generated scenarios.
+func TestTopologyAdjacencySymmetric(t *testing.T) {
+	ForEach(t, 0xad1a, func(t *testing.T, sc *Scenario) {
+		nw := sc.Network
+		r2 := sc.Ranges.TagToTag * sc.Ranges.TagToTag
+		for i := 0; i < nw.N(); i++ {
+			for _, j := range nw.Neighbors(i) {
+				if sc.Deployment.Tags[i].Dist2(sc.Deployment.Tags[int(j)]) > r2 {
+					t.Fatalf("%v seed %#x: neighbor %d->%d beyond range", sc.Shape, sc.Seed, i, j)
+				}
+				back := false
+				for _, k := range nw.Neighbors(int(j)) {
+					if int(k) == i {
+						back = true
+						break
+					}
+				}
+				if !back {
+					t.Fatalf("%v seed %#x: link %d->%d not symmetric", sc.Shape, sc.Seed, i, j)
+				}
+			}
+		}
+	})
+}

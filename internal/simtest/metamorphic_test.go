@@ -1,0 +1,184 @@
+package simtest
+
+import (
+	"math"
+	"testing"
+
+	"netags/internal/bitmap"
+	"netags/internal/core"
+	"netags/internal/geom"
+	"netags/internal/topology"
+)
+
+// TestMetamorphicRelabeling: permuting the tag indices (carrying each
+// physical tag's ID along) is a pure renaming — the collected bitmap, round
+// count, truncation flag, air time, and each physical tag's energy must not
+// change. Slot choice depends only on (ID, seed), never on the index.
+func TestMetamorphicRelabeling(t *testing.T) {
+	ForEach(t, 0x3e1a, func(t *testing.T, sc *Scenario) {
+		n := sc.Network.N()
+		if n < 2 {
+			return
+		}
+		src := sc.Source(20)
+		cfg := sc.NewConfig(src)
+		cfg.Picker = nil // pickers are exercised elsewhere; IDs carry identity here
+		if cfg.IDs == nil {
+			cfg.IDs = RandomIDs(src, n)
+		}
+		res, err := core.RunSession(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+
+		// Fisher–Yates permutation of the deployment, IDs riding along.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := n - 1; i > 0; i-- {
+			j := src.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		pd := &geom.Deployment{
+			Tags:    make([]geom.Point, n),
+			Readers: append([]geom.Point(nil), sc.Deployment.Readers...),
+			Radius:  sc.Deployment.Radius,
+		}
+		pcfg := cfg
+		pcfg.IDs = make([]uint64, n)
+		for ni, oi := range perm {
+			pd.Tags[ni] = sc.Deployment.Tags[oi]
+			pcfg.IDs[ni] = cfg.IDs[oi]
+		}
+		pnw, err := buildLike(sc, pd)
+		if err != nil {
+			t.Fatalf("%v seed %#x: permuted build: %v", sc.Shape, sc.Seed, err)
+		}
+		pres, err := core.RunSession(pnw, pcfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: permuted session: %v", sc.Shape, sc.Seed, err)
+		}
+		if !pres.Bitmap.Equal(res.Bitmap) || pres.Rounds != res.Rounds ||
+			pres.Truncated != res.Truncated || pres.Clock != res.Clock {
+			t.Errorf("%v seed %#x: relabeling changed the session (rounds %d→%d)",
+				sc.Shape, sc.Seed, res.Rounds, pres.Rounds)
+		}
+		for ni, oi := range perm {
+			if pres.Meter.Sent(ni) != res.Meter.Sent(oi) || pres.Meter.Received(ni) != res.Meter.Received(oi) {
+				t.Errorf("%v seed %#x: relabeling changed physical tag %d's energy", sc.Shape, sc.Seed, oi)
+				break
+			}
+		}
+	})
+}
+
+// TestMetamorphicUnreachableAddition: appending a tag that is isolated from
+// everything (far outside the broadcast range and every tag's relay range)
+// must leave the session untouched.
+func TestMetamorphicUnreachableAddition(t *testing.T) {
+	ForEach(t, 0x3e1b, func(t *testing.T, sc *Scenario) {
+		src := sc.Source(21)
+		cfg := sc.NewConfig(src)
+		res, err := core.RunSession(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+
+		// Place the stray far beyond everything: the deployment's extent
+		// plus broadcast and relay ranges, times ten.
+		far := 10 * (sc.Deployment.Radius + sc.Ranges.ReaderToTag + sc.Ranges.TagToTag + 1)
+		angle := 2 * math.Pi * src.Float64()
+		ad := &geom.Deployment{
+			Tags: append(append([]geom.Point(nil), sc.Deployment.Tags...),
+				geom.Point{X: far * math.Cos(angle), Y: far * math.Sin(angle)}),
+			Readers: append([]geom.Point(nil), sc.Deployment.Readers...),
+			Radius:  far,
+		}
+		acfg := cfg
+		if cfg.IDs != nil {
+			acfg.IDs = append(append([]uint64(nil), cfg.IDs...), ^uint64(0))
+		}
+		anw, err := buildLike(sc, ad)
+		if err != nil {
+			t.Fatalf("%v seed %#x: augmented build: %v", sc.Shape, sc.Seed, err)
+		}
+		if anw.Tier[anw.N()-1] != 0 {
+			t.Fatalf("%v seed %#x: stray tag unexpectedly reachable", sc.Shape, sc.Seed)
+		}
+		ares, err := core.RunSession(anw, acfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: augmented session: %v", sc.Shape, sc.Seed, err)
+		}
+		if !ares.Bitmap.Equal(res.Bitmap) || ares.Rounds != res.Rounds ||
+			ares.Truncated != res.Truncated || ares.Clock != res.Clock {
+			t.Errorf("%v seed %#x: adding an unreachable tag changed the session", sc.Shape, sc.Seed)
+		}
+		for i := 0; i < sc.Network.N(); i++ {
+			if ares.Meter.Sent(i) != res.Meter.Sent(i) || ares.Meter.Received(i) != res.Meter.Received(i) {
+				t.Errorf("%v seed %#x: adding an unreachable tag changed tag %d's energy", sc.Shape, sc.Seed, i)
+				break
+			}
+		}
+	})
+}
+
+// TestMetamorphicMultiReaderOr: eq. (1)'s composition law. Running one
+// session per reader and OR-combining must equal RunMultiSession's combined
+// bitmap, and on a reliable channel the combination equals the union of the
+// per-reader direct bitmaps.
+func TestMetamorphicMultiReaderOr(t *testing.T) {
+	ForEach(t, 0x3e1c, func(t *testing.T, sc *Scenario) {
+		src := sc.Source(22)
+		// Re-home the deployment with 2–3 readers: the original at the
+		// center plus extras dropped inside the deployment extent.
+		d := &geom.Deployment{
+			Tags:    sc.Deployment.Tags,
+			Readers: []geom.Point{{}},
+			Radius:  sc.Deployment.Radius,
+		}
+		extra := 1 + src.Intn(2)
+		for k := 0; k < extra; k++ {
+			d.Readers = append(d.Readers, geom.SampleDisk(src, math.Max(d.Radius, 1)))
+		}
+		cfg := sc.NewConfig(src)
+		cfg.CheckingFrameLen = 0 // resolved per reader below
+		cfg.MaxRounds = 0
+		mres, err := core.RunMultiSession(d, sc.Ranges, cfg)
+		if err != nil {
+			t.Fatalf("%v seed %#x: multi: %v", sc.Shape, sc.Seed, err)
+		}
+
+		want := bitmap.New(cfg.FrameSize)
+		orDirect := bitmap.New(cfg.FrameSize)
+		for ri := range d.Readers {
+			nw, err := topology.Build(d, ri, sc.Ranges)
+			if err != nil {
+				t.Fatalf("%v seed %#x: reader %d: %v", sc.Shape, sc.Seed, ri, err)
+			}
+			rcfg := cfg
+			rcfg.Reader = ri
+			res, err := core.RunSession(nw, rcfg)
+			if err != nil {
+				t.Fatalf("%v seed %#x: reader %d: %v", sc.Shape, sc.Seed, ri, err)
+			}
+			want.Or(res.Bitmap)
+			direct, err := core.DirectBitmap(nw, rcfg)
+			if err != nil {
+				t.Fatalf("%v seed %#x: reader %d direct: %v", sc.Shape, sc.Seed, ri, err)
+			}
+			orDirect.Or(direct)
+			if res.Truncated {
+				// Default L_c can undershoot a pathological detour; give the
+				// combination law a pass only when every session completed.
+				return
+			}
+		}
+		if !mres.Bitmap.Equal(want) {
+			t.Errorf("%v seed %#x: multi-reader bitmap != OR of per-reader sessions", sc.Shape, sc.Seed)
+		}
+		if !mres.Bitmap.Equal(orDirect) {
+			t.Errorf("%v seed %#x: multi-reader bitmap != union of direct bitmaps", sc.Shape, sc.Seed)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package simtest
+
+import (
+	"netags/internal/geom"
+	"netags/internal/topology"
+)
+
+// BruteTiers recomputes every tag's tier straight from the deployment
+// geometry: O(n²) pairwise distance tests and a plain BFS, sharing no code
+// with topology's grid bucketing or CSR adjacency. It is the differential
+// oracle topology.Build is held to.
+//
+// The rules restate §III-A/§III-C independently: a tag is in the field of
+// view iff it is within ReaderToTag of the reader (obstacles do not block
+// the reader's high-power broadcast); tier 1 additionally needs the weak
+// tag→reader link — within TagToReader and not blocked; tier k+1 tags are
+// field-of-view tags within TagToTag (and unblocked) of a tier-k tag.
+func BruteTiers(d *geom.Deployment, readerIdx int, rg topology.Ranges, obstacles []geom.Segment) []int16 {
+	n := len(d.Tags)
+	reader := d.Readers[readerIdx]
+	tier := make([]int16, n)
+	inFoV := make([]bool, n)
+	var queue []int
+	for i, p := range d.Tags {
+		dist := p.Dist(reader)
+		inFoV[i] = dist <= rg.ReaderToTag
+		if dist <= rg.TagToReader && inFoV[i] && !geom.Blocked(obstacles, p, reader) {
+			tier[i] = 1
+			queue = append(queue, i)
+		}
+	}
+	// Squared distances for tag↔tag links, plain distance for the reader:
+	// the same comparison forms topology uses, so borderline floating-point
+	// cases cannot produce spurious oracle disagreement.
+	linked := func(i, j int) bool {
+		return d.Tags[i].Dist2(d.Tags[j]) <= rg.TagToTag*rg.TagToTag &&
+			!geom.Blocked(obstacles, d.Tags[i], d.Tags[j])
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for v := 0; v < n; v++ {
+			if v == u || tier[v] != 0 || !inFoV[v] || !linked(u, v) {
+				continue
+			}
+			tier[v] = tier[u] + 1
+			queue = append(queue, v)
+		}
+	}
+	return tier
+}
+
+// BruteReachableIDs returns the set of IDs the reader must be able to
+// collect: one entry per tag with a brute-force tier > 0, under the id
+// assignment id(i). It is the ground truth for SICP/CICP collection.
+func BruteReachableIDs(sc *Scenario, id func(i int) uint64) map[uint64]bool {
+	tiers := BruteTiers(sc.Deployment, 0, sc.Ranges, sc.Obstacles)
+	want := make(map[uint64]bool)
+	for i, t := range tiers {
+		if t > 0 {
+			want[id(i)] = true
+		}
+	}
+	return want
+}

@@ -1,0 +1,103 @@
+package simtest
+
+import (
+	"testing"
+
+	"netags/internal/sicp"
+)
+
+// checkCollection holds one SICP/CICP run to the brute-force ground truth:
+// the reader collects exactly the reachable tags' IDs, each exactly once.
+func checkCollection(t *testing.T, sc *Scenario, proto string, res *sicp.Result, ids []uint64) {
+	t.Helper()
+	want := BruteReachableIDs(sc, func(i int) uint64 { return ids[i] })
+	got := make(map[uint64]bool, len(res.Collected))
+	for _, id := range res.Collected {
+		if got[id] {
+			t.Errorf("%s %v seed %#x: ID %#x collected twice", proto, sc.Shape, sc.Seed, id)
+		}
+		got[id] = true
+		if !want[id] {
+			t.Errorf("%s %v seed %#x: collected %#x, which is not reachable", proto, sc.Shape, sc.Seed, id)
+		}
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("%s %v seed %#x: reachable ID %#x never collected", proto, sc.Shape, sc.Seed, id)
+		}
+	}
+	if res.TreeDepth != sc.Network.K {
+		// Parents always sit exactly one tier up, so the spanning tree is
+		// exactly as deep as the tier structure.
+		t.Errorf("%s %v seed %#x: tree depth %d, tier count %d", proto, sc.Shape, sc.Seed, res.TreeDepth, sc.Network.K)
+	}
+	for i := 0; i < res.Meter.N(); i++ {
+		if res.Meter.Sent(i) < 0 || res.Meter.Received(i) < 0 {
+			t.Fatalf("%s %v seed %#x: tag %d negative meter", proto, sc.Shape, sc.Seed, i)
+		}
+		if sc.Network.Tier[i] == 0 && (res.Meter.Sent(i) != 0 || res.Meter.Received(i) != 0) {
+			t.Errorf("%s %v seed %#x: out-of-system tag %d metered", proto, sc.Shape, sc.Seed, i)
+		}
+	}
+}
+
+// TestSICPCollectsReachableSet is the differential oracle for the SICP
+// baseline: serialized tree collection must deliver exactly the brute-force
+// reachable set on every generated scenario.
+func TestSICPCollectsReachableSet(t *testing.T) {
+	ForEach(t, 0x51c0, func(t *testing.T, sc *Scenario) {
+		src := sc.Source(10)
+		ids := RandomIDs(src, sc.Network.N())
+		res, err := sicp.Collect(sc.Network, sicp.Options{
+			Seed:             src.Uint64(),
+			ContentionWindow: 1 + src.Intn(16),
+			IDs:              ids,
+		})
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+		checkCollection(t, sc, "sicp", res, ids)
+	})
+}
+
+// TestCICPCollectsReachableSet holds the contention-based sibling to the
+// same ground truth: collisions cost time and energy but never data.
+func TestCICPCollectsReachableSet(t *testing.T) {
+	ForEach(t, 0xc1c0, func(t *testing.T, sc *Scenario) {
+		src := sc.Source(11)
+		ids := RandomIDs(src, sc.Network.N())
+		res, err := sicp.CollectCICP(sc.Network, sicp.Options{
+			Seed:             src.Uint64(),
+			ContentionWindow: 2 + src.Intn(15),
+			IDs:              ids,
+		})
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+		checkCollection(t, sc, "cicp", res, ids)
+	})
+}
+
+// TestSICPReplayDeterminism pins that a collection run is a pure function of
+// (network, options): CSMA draws come only from the seeded source.
+func TestSICPReplayDeterminism(t *testing.T) {
+	ForEach(t, 0x51c1, func(t *testing.T, sc *Scenario) {
+		opts := sicp.Options{Seed: sc.Seed, ContentionWindow: 8}
+		a, err := sicp.Collect(sc.Network, opts)
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+		b, err := sicp.Collect(sc.Network, opts)
+		if err != nil {
+			t.Fatalf("%v seed %#x: %v", sc.Shape, sc.Seed, err)
+		}
+		if a.Clock != b.Clock || len(a.Collected) != len(b.Collected) {
+			t.Fatalf("%v seed %#x: replay diverged", sc.Shape, sc.Seed)
+		}
+		for i := range a.Collected {
+			if a.Collected[i] != b.Collected[i] {
+				t.Fatalf("%v seed %#x: replay diverged at collected[%d]", sc.Shape, sc.Seed, i)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -42,19 +43,19 @@ type document struct {
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(in io.Reader, out io.Writer) error {
 	var doc document
 	preamble := map[string]*string{
 		"goos: ": &doc.Goos, "goarch: ": &doc.Goarch,
 		"pkg: ": &doc.Pkg, "cpu: ": &doc.CPU,
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		line := sc.Text()
 		for prefix, dst := range preamble {
@@ -93,7 +94,7 @@ func run() error {
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
 }

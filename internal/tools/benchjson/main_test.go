@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const goldenInput = `goos: linux
+goarch: amd64
+pkg: netags/internal/core
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkSession/n=1000-8         	     100	     67264 ns/op	   12288 B/op	      20 allocs/op
+BenchmarkSession/n=10000-8        	      10	    912345 ns/op
+some unrelated chatter
+BenchmarkDirect-8                 	 5000000	       231.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	netags/internal/core	4.2s
+`
+
+func TestRunGolden(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(goldenInput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" ||
+		doc.Pkg != "netags/internal/core" || doc.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Errorf("preamble mis-parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3 (chatter and PASS/ok lines must be skipped)", len(doc.Benchmarks))
+	}
+	first := doc.Benchmarks[0]
+	if first.Name != "BenchmarkSession/n=1000-8" || first.Iter != 100 ||
+		first.NsPerOp != 67264 || first.BytesPerOp != 12288 || first.AllocsPerOp != 20 {
+		t.Errorf("first benchmark mis-parsed: %+v", first)
+	}
+	if second := doc.Benchmarks[1]; second.NsPerOp != 912345 || second.BytesPerOp != 0 || second.AllocsPerOp != 0 {
+		t.Errorf("metrics absent from the line must stay zero: %+v", second)
+	}
+	if third := doc.Benchmarks[2]; third.Name != "BenchmarkDirect-8" || third.NsPerOp != 231.5 {
+		t.Errorf("fractional ns/op mis-parsed: %+v", third)
+	}
+	for i, b := range doc.Benchmarks {
+		if !strings.Contains(goldenInput, b.Raw) || !strings.HasPrefix(b.Raw, "Benchmark") {
+			t.Errorf("benchmark %d: raw line not preserved verbatim: %q", i, b.Raw)
+		}
+	}
+}
+
+func TestRunMalformed(t *testing.T) {
+	t.Run("empty input", func(t *testing.T) {
+		var out strings.Builder
+		err := run(strings.NewReader(""), &out)
+		if err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+			t.Fatalf("want the no-benchmark-lines error, got %v", err)
+		}
+	})
+	t.Run("no benchmark lines", func(t *testing.T) {
+		var out strings.Builder
+		if err := run(strings.NewReader("PASS\nok pkg 1.0s\n"), &out); err == nil {
+			t.Fatal("want an error when nothing parses")
+		}
+	})
+	t.Run("iteration overflow", func(t *testing.T) {
+		var out strings.Builder
+		line := "BenchmarkX-8\t99999999999999999999999999\t5 ns/op\n"
+		err := run(strings.NewReader(line), &out)
+		if err == nil || !strings.Contains(err.Error(), "BenchmarkX") {
+			t.Fatalf("want a parse error naming the line, got %v", err)
+		}
+	})
+	t.Run("garbage metrics are skipped not fatal", func(t *testing.T) {
+		var out strings.Builder
+		if err := run(strings.NewReader("BenchmarkY-8\t10\tgibberish\n"), &out); err != nil {
+			t.Fatalf("unparseable metric tail must not be fatal: %v", err)
+		}
+		var doc document
+		if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].NsPerOp != 0 {
+			t.Errorf("want one benchmark with zero metrics, got %+v", doc.Benchmarks)
+		}
+	})
+}

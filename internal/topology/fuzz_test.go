@@ -1,0 +1,68 @@
+package topology_test
+
+import (
+	"testing"
+
+	"netags/internal/geom"
+	"netags/internal/simtest"
+	"netags/internal/topology"
+)
+
+// FuzzTopologyTiers feeds arbitrary byte-derived deployments to the
+// grid-accelerated tier builder and checks it against simtest's O(n²)
+// brute-force oracle. The grid index is the one piece of the topology layer
+// with real room for cell-boundary bugs, and every protocol result rests on
+// the tiers it produces.
+func FuzzTopologyTiers(f *testing.F) {
+	f.Add([]byte{128, 128, 200, 128, 60, 128, 128, 200}, uint64(0))
+	f.Add([]byte{0, 0, 255, 255, 0, 255, 255, 0, 128, 128}, uint64(0x1234567))
+	f.Add([]byte{140, 128, 152, 128, 164, 128, 176, 128, 188, 128}, uint64(31))
+	f.Fuzz(func(t *testing.T, raw []byte, rangeBits uint64) {
+		if len(raw) < 2 {
+			return
+		}
+		if len(raw) > 96 {
+			raw = raw[:96] // ≤48 tags keeps the quadratic oracle cheap
+		}
+		// Each coordinate byte maps to [-32, 31.75]: dense enough around the
+		// ranges below that every tier relation is exercised.
+		coord := func(b byte) float64 { return (float64(b) - 128) / 4 }
+		d := &geom.Deployment{
+			Readers: []geom.Point{{}},
+			Radius:  64,
+		}
+		for i := 0; i+1 < len(raw); i += 2 {
+			d.Tags = append(d.Tags, geom.Point{X: coord(raw[i]), Y: coord(raw[i+1])})
+		}
+		rg := topology.Ranges{
+			ReaderToTag: 2 + float64(rangeBits%29),
+			TagToTag:    0.5 + float64((rangeBits>>16)%12),
+		}
+		rg.TagToReader = rg.ReaderToTag * (0.2 + float64((rangeBits>>8)%64)/80)
+		if rg.Validate() != nil {
+			return
+		}
+
+		nw, err := topology.Build(d, 0, rg)
+		if err != nil {
+			t.Fatalf("build rejected a validated input: %v", err)
+		}
+		want := simtest.BruteTiers(d, 0, rg, nil)
+		maxTier, reach := 0, 0
+		for i, tier := range want {
+			if nw.Tier[i] != tier {
+				t.Fatalf("tag %d at %+v: tier %d, brute force says %d (ranges %+v)",
+					i, d.Tags[i], nw.Tier[i], tier, rg)
+			}
+			if int(tier) > maxTier {
+				maxTier = int(tier)
+			}
+			if tier > 0 {
+				reach++
+			}
+		}
+		if nw.K != maxTier || nw.Reachable != reach {
+			t.Fatalf("summary K=%d Reachable=%d, brute force says %d/%d", nw.K, nw.Reachable, maxTier, reach)
+		}
+	})
+}
