@@ -27,11 +27,30 @@ fuzz-smoke:
 bench-sweep:
 	go test -bench=ExperimentQuick -benchtime=1x -run='^$$' .
 
-# Tracing-overhead benchmark: a CCM session with a nil tracer versus a JSONL
-# tracer. The raw `go test -bench` lines land in BENCH_observability.json
-# (recover a benchstat input with `jq -r '.benchmarks[].raw'`).
+# The tracked benchmark suite: tracing overhead (core), the bitmap OR-merge
+# hot paths, sweep worker scaling, and the -http Tracker bookkeeping. The raw
+# `go test -bench` lines plus per-benchmark mean/min/max rollups land in
+# BENCH_observability.json (recover a benchstat input with
+# `jq -r '.benchmarks[].raw'`).
+BENCH_PKGS    = ./internal/core/ ./internal/bitmap/ ./internal/experiment/
+BENCH_PATTERN = 'SessionTracer|Bitmap|SweepWorkers|TrackerObserve'
 bench:
-	go test -bench=SessionTracer -benchmem -count=5 -run='^$$' ./internal/core/ \
+	go test -bench=$(BENCH_PATTERN) -benchmem -count=5 -run='^$$' $(BENCH_PKGS) \
 		| tee /dev/stderr | go run ./internal/tools/benchjson > BENCH_observability.json
 
-.PHONY: verify fuzz-smoke bench bench-sweep
+# Regression gate: re-run the suite and fail (exit 1) when any benchmark's
+# mean ns/op or allocs/op regressed beyond tolerance against the committed
+# baseline. Update the baseline deliberately with `make bench` (see
+# DESIGN.md's baseline update policy), never as part of a failing run.
+BENCH_COUNT           ?= 3
+BENCH_TIME            ?= 0.3s
+BENCH_TOLERANCE       ?= 0.50
+BENCH_ALLOC_TOLERANCE ?= 0.10
+bench-compare:
+	go test -bench=$(BENCH_PATTERN) -benchmem -count=$(BENCH_COUNT) \
+		-benchtime=$(BENCH_TIME) -run='^$$' $(BENCH_PKGS) \
+		| go run ./internal/tools/benchjson compare \
+			-baseline BENCH_observability.json \
+			-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
+
+.PHONY: verify fuzz-smoke bench bench-sweep bench-compare

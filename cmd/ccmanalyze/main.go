@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"netags/internal/analysis"
 	"netags/internal/core"
@@ -23,6 +24,7 @@ import (
 	"netags/internal/geom"
 	"netags/internal/gmle"
 	"netags/internal/obs"
+	"netags/internal/obs/httpserve"
 	"netags/internal/topology"
 	"netags/internal/trp"
 )
@@ -47,6 +49,7 @@ func run(ctx context.Context, args []string) error {
 		metrics  = fs.String("metrics", "", "print a run metrics summary: text | json")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
+		httpAddr = fs.String("http", "", "serve live introspection (/metrics, /progress, /events, /debug/pprof) on this address, e.g. :8080")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +87,27 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	// Live introspection (-http): each completed r value feeds a Tracker so
+	// /progress reports completed/total and ETA mid-run. Observe-only; with
+	// the flag unset the tracer stays exactly instr.Tracer().
+	var intro *httpserve.Server
+	var observe func(experiment.Progress)
+	if *httpAddr != "" {
+		tracker := experiment.NewTracker()
+		tracker.SetTotal(len(rs))
+		intro, err = httpserve.Start(*httpAddr, httpserve.Options{
+			Collector: obs.NewCollector(),
+			Ring:      obs.NewRing(0),
+			Progress:  tracker.ProgressJSON,
+		})
+		if err != nil {
+			return err
+		}
+		defer intro.Close()
+		fmt.Fprintf(os.Stderr, "introspection: http://%s\n", intro.Addr())
+		observe = tracker.Wrap(nil)
+	}
+	tracer := obs.Multi(instr.Tracer(), intro.Tracer())
 	// The deployment is built once and shared read-only; each r value's
 	// topology build + session is independent, so they fan out over the
 	// experiment package's worker pool and print in r order afterwards.
@@ -91,6 +115,7 @@ func run(ctx context.Context, args []string) error {
 	out := make([]string, len(rs))
 	err = experiment.ParallelFor(ctx, *workers, len(rs), func(ctx context.Context, i int) error {
 		r := rs[i]
+		start := time.Now()
 		rg := topology.PaperRanges(r)
 		nw, err := topology.Build(d, 0, rg)
 		if err != nil {
@@ -100,10 +125,14 @@ func run(ctx context.Context, args []string) error {
 		// concurrent r values stay distinguishable in the JSONL output.
 		res, err := core.RunSession(nw, core.Config{
 			FrameSize: frame, Seed: *seed, Sampling: sampling,
-			Tracer: instr.Tracer(), Reader: i,
+			Tracer: tracer, Reader: i,
 		})
 		if err != nil {
 			return err
+		}
+		if observe != nil {
+			observe(experiment.Progress{Sweep: "analyze", R: r, Trials: 1,
+				Tiers: nw.K, Elapsed: time.Since(start)})
 		}
 		in := func(i int) bool { return nw.Tier[i] > 0 }
 		sum := res.Meter.Summarize(in)

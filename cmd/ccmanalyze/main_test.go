@@ -64,3 +64,16 @@ func TestRunObservabilityFlags(t *testing.T) {
 		t.Fatalf("heap profile not a gzip stream (err=%v)", err)
 	}
 }
+
+// TestRunHTTPIntrospection: the -http flag starts on an ephemeral port and
+// rejects bad addresses; the comparison itself is unchanged either way.
+func TestRunHTTPIntrospection(t *testing.T) {
+	if err := run(context.Background(), []string{
+		"-n", "500", "-r", "6", "-app", "trp", "-http", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{
+		"-n", "500", "-r", "6", "-app", "trp", "-http", "not-an-address"}); err == nil {
+		t.Fatal("bad -http address accepted")
+	}
+}

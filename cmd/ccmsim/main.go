@@ -18,6 +18,7 @@ import (
 
 	"netags"
 	"netags/internal/obs"
+	"netags/internal/obs/httpserve"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func run(args []string) error {
 		metrics  = fs.String("metrics", "", "print a run metrics summary: text | json")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
+		httpAddr = fs.String("http", "", "serve live introspection (/metrics, /events, /debug/pprof) on this address, e.g. :8080")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,13 +63,27 @@ func run(args []string) error {
 		}
 	}()
 
+	// Live introspection (-http): observe-only, nil tracer when unset.
+	var intro *httpserve.Server
+	if *httpAddr != "" {
+		intro, err = httpserve.Start(*httpAddr, httpserve.Options{
+			Collector: obs.NewCollector(),
+			Ring:      obs.NewRing(0),
+		})
+		if err != nil {
+			return err
+		}
+		defer intro.Close()
+		fmt.Fprintf(os.Stderr, "introspection: http://%s\n", intro.Addr())
+	}
+
 	sys, err := netags.NewSystem(netags.SystemOptions{Tags: *n, InterTagRange: *r, Seed: *seed})
 	if err != nil {
 		return err
 	}
-	tracer := instr.Tracer()
+	tracer := obs.Multi(instr.Tracer(), intro.Tracer())
 	if *trace {
-		tracer = instr.WithTracer(obs.NewNarrator(os.Stdout))
+		tracer = obs.Multi(tracer, obs.NewNarrator(os.Stdout))
 	}
 	sys = sys.WithTracer(tracer)
 	fmt.Printf("system: %d tags, %d reachable, %d tiers, density %.2f tags/m²\n",

@@ -105,3 +105,14 @@ func TestRunBadMetricsMode(t *testing.T) {
 		t.Fatal("bad metrics mode accepted")
 	}
 }
+
+// TestRunHTTPIntrospection: the -http flag is opt-in, starts on an
+// ephemeral port, and rejects bad addresses.
+func TestRunHTTPIntrospection(t *testing.T) {
+	if err := run([]string{"-op", "estimate", "-n", "400", "-r", "6", "-http", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-op", "estimate", "-n", "400", "-r", "6", "-http", "not-an-address"}); err == nil {
+		t.Fatal("bad -http address accepted")
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"netags/internal/experiment"
 	"netags/internal/obs"
+	"netags/internal/obs/httpserve"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string) error {
 		metrics  = fs.String("metrics", "", "print a sweep metrics summary: text | json")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
+		httpAddr = fs.String("http", "", "serve live introspection (/metrics, /progress, /events, /debug/pprof) on this address, e.g. :8080")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +110,28 @@ func run(ctx context.Context, args []string) error {
 		closed = true
 		return instr.Close(os.Stdout)
 	}
+	// Live introspection: -http starts an observe-only server whose
+	// collector and ring ride the sweep's tracer, and whose /progress view
+	// is fed by a Tracker stacked onto the observe chain. With the flag
+	// unset, intro is nil, intro.Tracer() is nil, and nothing changes.
+	var intro *httpserve.Server
+	setTotal := func(int) {}
+	if *httpAddr != "" {
+		tracker := experiment.NewTracker()
+		intro, err = httpserve.Start(*httpAddr, httpserve.Options{
+			Collector: obs.NewCollector(),
+			Ring:      obs.NewRing(0),
+			Progress:  tracker.ProgressJSON,
+		})
+		if err != nil {
+			return err
+		}
+		defer intro.Close()
+		fmt.Fprintf(os.Stderr, "introspection: http://%s\n", intro.Addr())
+		observe = tracker.Wrap(observe)
+		setTotal = tracker.SetTotal
+	}
+	tracer := obs.Multi(instr.Tracer(), intro.Tracer())
 	if *density != "" {
 		values, err := parseFloats(*density)
 		if err != nil {
@@ -121,13 +145,14 @@ func run(ctx context.Context, args []string) error {
 		for i, v := range values {
 			ns[i] = int(v)
 		}
+		setTotal(len(ns) * *trials)
 		res, err := experiment.RunDensitySweepContext(ctx, experiment.DensityConfig{
 			BaseConfig: experiment.BaseConfig{
 				Radius:  30,
 				Trials:  *trials,
 				Seed:    *seed,
 				Workers: *workers,
-				Tracer:  instr.Tracer(),
+				Tracer:  tracer,
 			},
 			NValues: ns,
 			R:       rs[0],
@@ -147,6 +172,7 @@ func run(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
+		setTotal(len(values) * *trials)
 		res, err := experiment.RunLossSweepContext(ctx, experiment.LossConfig{
 			BaseConfig: experiment.BaseConfig{
 				N:       *n,
@@ -154,7 +180,7 @@ func run(ctx context.Context, args []string) error {
 				Trials:  *trials,
 				Seed:    *seed,
 				Workers: *workers,
-				Tracer:  instr.Tracer(),
+				Tracer:  tracer,
 			},
 			R:          rs[0],
 			LossValues: values,
@@ -174,11 +200,12 @@ func run(ctx context.Context, args []string) error {
 	cfg.Trials = *trials
 	cfg.Seed = *seed
 	cfg.Workers = *workers
-	cfg.Tracer = instr.Tracer()
+	cfg.Tracer = tracer
 	cfg.DisableIndicatorVector = *ablation
 	if cfg.RValues, err = parseFloats(*rList); err != nil {
 		return err
 	}
+	setTotal(len(cfg.RValues) * *trials)
 	cfg.Protocols = nil
 	for _, p := range strings.Split(*protos, ",") {
 		cfg.Protocols = append(cfg.Protocols, experiment.Protocol(strings.TrimSpace(p)))

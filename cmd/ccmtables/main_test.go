@@ -113,3 +113,20 @@ func TestRunProgressModes(t *testing.T) {
 		t.Fatal("bad progress mode accepted")
 	}
 }
+
+// TestRunHTTPIntrospection: -http on an ephemeral port starts, serves the
+// sweep, and shuts down cleanly; a bad address is a startup error.
+func TestRunHTTPIntrospection(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-n", "300", "-trials", "1", "-r", "6", "-figure", "3", "-quiet",
+		"-http", "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{
+		"-n", "300", "-trials", "1", "-r", "6", "-figure", "3", "-quiet",
+		"-http", "not-an-address"}); err == nil {
+		t.Fatal("bad -http address accepted")
+	}
+}

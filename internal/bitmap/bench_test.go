@@ -1,0 +1,80 @@
+package bitmap
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The OR-merge is CCM's innermost loop: every relayed frame bitmap and
+// indicator vector lands in one. Benchmarked at the paper's frame size (512)
+// and two larger sizes to show the per-word scaling.
+func BenchmarkBitmapOr(b *testing.B) {
+	for _, n := range []int{512, 4096, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			dst := New(n)
+			src := New(n)
+			for i := 0; i < n; i += 3 {
+				src.Set(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst.Or(src)
+			}
+		})
+	}
+}
+
+func BenchmarkBitmapAndNot(b *testing.B) {
+	for _, n := range []int{512, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			dst := New(n)
+			src := New(n)
+			for i := 0; i < n; i += 3 {
+				dst.Set(i)
+			}
+			for i := 0; i < n; i += 7 {
+				src.Set(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst.AndNot(src)
+			}
+		})
+	}
+}
+
+func BenchmarkBitmapCount(b *testing.B) {
+	for _, n := range []int{512, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			bm := New(n)
+			for i := 0; i < n; i += 2 {
+				bm.Set(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += bm.Count()
+			}
+			_ = sink
+		})
+	}
+}
+
+// ForEach backs Indices and every slot-iteration in the reader; half-full is
+// the worst case for the branchy trailing-zeros walk.
+func BenchmarkBitmapForEach(b *testing.B) {
+	bm := New(512)
+	for i := 0; i < 512; i += 2 {
+		bm.Set(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		bm.ForEach(func(j int) { sink += j })
+	}
+	_ = sink
+}

@@ -129,6 +129,28 @@ type Progress struct {
 	Tiers int
 	// Elapsed is the wall time the work item took.
 	Elapsed time.Duration
+	// Completed and Total are the sweep-wide work-item counts at the moment
+	// this event was emitted (Completed includes this item). RunSweep stamps
+	// them; hand-built events may leave them zero, in which case String and
+	// ETA omit the sweep-level view.
+	Completed int
+	Total     int
+	// SweepElapsed is the wall time since the sweep started, stamped by
+	// RunSweep alongside Completed/Total. Unlike Elapsed (one item's cost,
+	// deterministic in count) it is sweep-global and drives ETA.
+	SweepElapsed time.Duration
+}
+
+// ETA extrapolates the remaining wall time from the completion rate so far:
+// SweepElapsed/Completed per item times the items left. It returns 0 until
+// the sweep-level fields are populated (Completed or Total zero) and 0 once
+// the sweep is done.
+func (p Progress) ETA() time.Duration {
+	if p.Completed <= 0 || p.Total <= 0 || p.Completed >= p.Total {
+		return 0
+	}
+	perItem := float64(p.SweepElapsed) / float64(p.Completed)
+	return time.Duration(perItem * float64(p.Total-p.Completed))
 }
 
 // MarshalJSON renders the event as one JSONL-friendly object (the CLIs'
@@ -140,32 +162,50 @@ func (p Progress) MarshalJSON() ([]byte, error) {
 		protos[i] = string(pr)
 	}
 	return json.Marshal(struct {
-		Sweep     string   `json:"sweep"`
-		R         float64  `json:"r,omitempty"`
-		N         int      `json:"n,omitempty"`
-		Loss      float64  `json:"loss"`
-		Trial     int      `json:"trial"`
-		Trials    int      `json:"trials"`
-		Protocols []string `json:"protocols,omitempty"`
-		Tiers     int      `json:"tiers"`
-		ElapsedMS float64  `json:"elapsed_ms"`
+		Sweep          string   `json:"sweep"`
+		R              float64  `json:"r,omitempty"`
+		N              int      `json:"n,omitempty"`
+		Loss           float64  `json:"loss"`
+		Trial          int      `json:"trial"`
+		Trials         int      `json:"trials"`
+		Protocols      []string `json:"protocols,omitempty"`
+		Tiers          int      `json:"tiers"`
+		ElapsedMS      float64  `json:"elapsed_ms"`
+		Completed      int      `json:"completed,omitempty"`
+		Total          int      `json:"total,omitempty"`
+		SweepElapsedMS float64  `json:"sweep_elapsed_ms,omitempty"`
+		ETAMS          float64  `json:"eta_ms,omitempty"`
 	}{
 		Sweep: p.Sweep, R: p.R, N: p.N, Loss: p.Loss,
 		Trial: p.Trial, Trials: p.Trials, Protocols: protos,
 		Tiers: p.Tiers, ElapsedMS: float64(p.Elapsed) / float64(time.Millisecond),
+		Completed: p.Completed, Total: p.Total,
+		SweepElapsedMS: float64(p.SweepElapsed) / float64(time.Millisecond),
+		ETAMS:          float64(p.ETA()) / float64(time.Millisecond),
 	})
 }
 
-// String renders the event in the legacy progress-line format.
+// String renders the event in the legacy progress-line format, followed by
+// the sweep-wide completion count and remaining-time estimate when the
+// runner stamped them ("r=6 trial 1/2 done (K=4) [3/18, eta 42s]").
 func (p Progress) String() string {
+	var line string
 	switch p.Sweep {
 	case "density":
-		return fmt.Sprintf("n=%d trial %d/%d done (K=%d)", p.N, p.Trial+1, p.Trials, p.Tiers)
+		line = fmt.Sprintf("n=%d trial %d/%d done (K=%d)", p.N, p.Trial+1, p.Trials, p.Tiers)
 	case "loss":
-		return fmt.Sprintf("loss=%g trial %d/%d done (K=%d)", p.Loss, p.Trial+1, p.Trials, p.Tiers)
+		line = fmt.Sprintf("loss=%g trial %d/%d done (K=%d)", p.Loss, p.Trial+1, p.Trials, p.Tiers)
 	default:
-		return fmt.Sprintf("r=%g trial %d/%d done (K=%d)", p.R, p.Trial+1, p.Trials, p.Tiers)
+		line = fmt.Sprintf("r=%g trial %d/%d done (K=%d)", p.R, p.Trial+1, p.Trials, p.Tiers)
 	}
+	if p.Total > 0 {
+		if p.Completed >= p.Total {
+			line += fmt.Sprintf(" [%d/%d, done]", p.Completed, p.Total)
+		} else {
+			line += fmt.Sprintf(" [%d/%d, eta %s]", p.Completed, p.Total, p.ETA().Round(100*time.Millisecond))
+		}
+	}
+	return line
 }
 
 // Sweep describes a grid of independent work items: len(Points) ×
@@ -207,7 +247,11 @@ func RunSweep[P, T any](ctx context.Context, s Sweep[P, T], observe func(Progres
 	for i := range results {
 		results[i] = make([]T, trials)
 	}
-	var mu sync.Mutex // serializes observe
+	var (
+		mu        sync.Mutex // serializes observe and the completion count
+		completed int
+	)
+	sweepStart := time.Now()
 	item := func(ctx context.Context, idx int) error {
 		pi, trial := idx/trials, idx%trials
 		point := s.Points[pi]
@@ -220,6 +264,12 @@ func RunSweep[P, T any](ctx context.Context, s Sweep[P, T], observe func(Progres
 		if observe != nil && s.Event != nil {
 			ev := s.Event(point, trial, out, time.Since(start))
 			mu.Lock()
+			// Stamp the sweep-wide view under the same lock that serializes
+			// observe, so Completed is monotonic in delivery order.
+			completed++
+			ev.Completed = completed
+			ev.Total = len(s.Points) * trials
+			ev.SweepElapsed = time.Since(sweepStart)
 			observe(ev)
 			mu.Unlock()
 		}

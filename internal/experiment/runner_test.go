@@ -150,10 +150,16 @@ func TestStructuredProgress(t *testing.T) {
 		if len(ev.Protocols) != 4 {
 			t.Errorf("event %d protocols = %v", i, ev.Protocols)
 		}
-		want := fmt.Sprintf("r=6 trial %d/2 done (K=%d)", i+1, ev.Tiers)
-		if ev.String() != want {
-			t.Errorf("event %d renders %q, want %q", i, ev.String(), want)
+		if ev.Completed != i+1 || ev.Total != 2 {
+			t.Errorf("event %d sweep counts = %d/%d, want %d/2", i, ev.Completed, ev.Total, i+1)
 		}
+		want := fmt.Sprintf("r=6 trial %d/2 done (K=%d) [%d/2", i+1, ev.Tiers, i+1)
+		if !strings.HasPrefix(ev.String(), want) {
+			t.Errorf("event %d renders %q, want prefix %q", i, ev.String(), want)
+		}
+	}
+	if last := events[len(events)-1]; !strings.HasSuffix(last.String(), "[2/2, done]") {
+		t.Errorf("final event renders %q, want the done marker", last.String())
 	}
 	// Density and loss events render their own coordinate.
 	if s := (Progress{Sweep: "density", N: 500, Trial: 0, Trials: 3, Tiers: 2}).String(); !strings.HasPrefix(s, "n=500 ") {

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Tracker is a concurrency-safe live view of a running sweep, built for the
+// httpserve /progress endpoint: it wraps the Progress observer exactly like
+// Timing does, but keeps the sweep-level state (completed/total counts,
+// wall-clock elapsed, throughput, ETA) queryable from another goroutine
+// while the sweep is still running.
+type Tracker struct {
+	mu        sync.Mutex
+	start     time.Time
+	total     int
+	completed int
+	timing    *Timing
+	last      Progress
+	hasLast   bool
+}
+
+// NewTracker returns an empty tracker; the elapsed clock starts now. Total
+// is learned from runner-stamped Progress events, or set up front with
+// SetTotal for a correct denominator before the first item completes.
+func NewTracker() *Tracker {
+	return &Tracker{start: time.Now(), timing: NewTiming()}
+}
+
+// SetTotal declares the sweep's work-item count (points × trials).
+func (t *Tracker) SetTotal(n int) {
+	t.mu.Lock()
+	t.total = n
+	t.mu.Unlock()
+}
+
+// Observe folds one Progress event into the live state.
+func (t *Tracker) Observe(p Progress) {
+	t.mu.Lock()
+	t.completed++
+	if p.Total > t.total {
+		t.total = p.Total
+	}
+	t.last = p
+	t.hasLast = true
+	t.mu.Unlock()
+	t.timing.Observe(p)
+}
+
+// Wrap returns an observer that records each event and forwards it to next
+// (which may be nil) — the same chaining contract as Timing.Wrap, so a CLI
+// can stack printer, timing table, and live tracker on one callback.
+func (t *Tracker) Wrap(next func(Progress)) func(Progress) {
+	return func(p Progress) {
+		t.Observe(p)
+		if next != nil {
+			next(p)
+		}
+	}
+}
+
+// TrackerPoint is one sweep point's timing in a snapshot.
+type TrackerPoint struct {
+	// Label is the point's coordinate ("r=6", "n=5000", "loss=0.2").
+	Label string `json:"label"`
+	// Items is how many of the point's work items have completed.
+	Items int `json:"items"`
+	// MeanMS is the mean per-item wall time in milliseconds.
+	MeanMS float64 `json:"mean_ms"`
+	// ItemsPerSec is the point's completion rate per second of summed work
+	// time (CPU-ish under parallelism).
+	ItemsPerSec float64 `json:"items_per_sec"`
+}
+
+// TrackerSnapshot is one consistent view of the sweep, JSON-ready for the
+// /progress endpoint.
+type TrackerSnapshot struct {
+	// Active reports whether a sweep has been registered (total set or at
+	// least one item observed).
+	Active bool `json:"active"`
+	// Completed / Total count work items; Total is 0 until known.
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+	// Done is true once every known work item has completed.
+	Done bool `json:"done"`
+	// ElapsedMS is wall time since the tracker was created.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// ETAMS extrapolates the remaining wall time from the rate so far; 0
+	// until the total is known and at least one item completed.
+	ETAMS float64 `json:"eta_ms"`
+	// ItemsPerSec is the sweep-wide wall-clock completion rate.
+	ItemsPerSec float64 `json:"items_per_sec"`
+	// Points are the per-point timing aggregates, first-observed order.
+	Points []TrackerPoint `json:"points,omitempty"`
+	// Last echoes the most recent Progress event.
+	Last *Progress `json:"last,omitempty"`
+}
+
+// Snapshot returns the current sweep state.
+func (t *Tracker) Snapshot() TrackerSnapshot {
+	t.mu.Lock()
+	s := TrackerSnapshot{
+		Active:    t.total > 0 || t.completed > 0,
+		Completed: t.completed,
+		Total:     t.total,
+		Done:      t.total > 0 && t.completed >= t.total,
+	}
+	elapsed := time.Since(t.start)
+	if t.hasLast {
+		last := t.last
+		s.Last = &last
+	}
+	t.mu.Unlock()
+
+	s.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	if elapsed > 0 && s.Completed > 0 {
+		s.ItemsPerSec = float64(s.Completed) / elapsed.Seconds()
+		if s.Total > s.Completed {
+			perItem := float64(elapsed) / float64(s.Completed)
+			s.ETAMS = perItem * float64(s.Total-s.Completed) / float64(time.Millisecond)
+		}
+	}
+	for _, pt := range t.timing.Points() {
+		s.Points = append(s.Points, TrackerPoint{
+			Label:       pt.Label(),
+			Items:       pt.Items,
+			MeanMS:      pt.PerItem.Mean(),
+			ItemsPerSec: pt.Throughput(),
+		})
+	}
+	return s
+}
+
+// ProgressJSON marshals the snapshot — the httpserve Progress source.
+func (t *Tracker) ProgressJSON() ([]byte, error) {
+	return json.Marshal(t.Snapshot())
+}

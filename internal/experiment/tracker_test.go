@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTrackerEmpty(t *testing.T) {
+	s := NewTracker().Snapshot()
+	if s.Active || s.Done || s.Completed != 0 || s.Total != 0 || s.Last != nil {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestTrackerCounts(t *testing.T) {
+	tr := NewTracker()
+	tr.SetTotal(4)
+	for i := 0; i < 3; i++ {
+		tr.Observe(Progress{Sweep: "range", R: 6, Trial: i, Trials: 4,
+			Elapsed: 10 * time.Millisecond})
+	}
+	s := tr.Snapshot()
+	if !s.Active || s.Done {
+		t.Errorf("mid-sweep snapshot flags wrong: %+v", s)
+	}
+	if s.Completed != 3 || s.Total != 4 {
+		t.Errorf("counts %d/%d, want 3/4", s.Completed, s.Total)
+	}
+	if s.ETAMS <= 0 {
+		t.Errorf("mid-sweep ETA = %g, want > 0", s.ETAMS)
+	}
+	if len(s.Points) != 1 || s.Points[0].Label != "r=6" || s.Points[0].Items != 3 {
+		t.Errorf("points = %+v", s.Points)
+	}
+	if s.Last == nil || s.Last.Trial != 2 {
+		t.Errorf("last = %+v", s.Last)
+	}
+	tr.Observe(Progress{Sweep: "range", R: 6, Trial: 3, Trials: 4})
+	if s := tr.Snapshot(); !s.Done || s.ETAMS != 0 {
+		t.Errorf("finished snapshot = %+v", s)
+	}
+}
+
+// TestTrackerLearnsTotalFromEvents: runner-stamped Progress events carry the
+// grid size, so a tracker works without SetTotal.
+func TestTrackerLearnsTotalFromEvents(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(Progress{Sweep: "range", R: 6, Completed: 1, Total: 18})
+	if s := tr.Snapshot(); s.Total != 18 || s.Completed != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestTrackerProgressJSON(t *testing.T) {
+	tr := NewTracker()
+	tr.SetTotal(2)
+	tr.Observe(Progress{Sweep: "loss", Loss: 0.5, Trials: 2, Elapsed: time.Millisecond})
+	b, err := tr.ProgressJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("invalid JSON %s: %v", b, err)
+	}
+	for _, key := range []string{"active", "completed", "total", "done", "elapsed_ms", "eta_ms", "points", "last"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("snapshot JSON missing %q: %s", key, b)
+		}
+	}
+	if m["total"] != float64(2) || m["completed"] != float64(1) {
+		t.Errorf("counts wrong in %s", b)
+	}
+}
+
+// TestTrackerLiveSweep wires a tracker into a real RunContext call the way
+// the CLIs do and checks the final state matches the grid.
+func TestTrackerLiveSweep(t *testing.T) {
+	cfg := tinyConfig()
+	tr := NewTracker()
+	tr.SetTotal(len(cfg.RValues) * cfg.Trials)
+	if _, err := RunContext(context.Background(), cfg, tr.Wrap(nil)); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Snapshot()
+	want := len(cfg.RValues) * cfg.Trials
+	if s.Completed != want || s.Total != want || !s.Done {
+		t.Fatalf("snapshot after sweep = %+v, want %d/%d done", s, want, want)
+	}
+	if len(s.Points) != len(cfg.RValues) {
+		t.Errorf("got %d points, want %d", len(s.Points), len(cfg.RValues))
+	}
+}
+
+// TestTrackerWrapForwards: the wrapped observer still reaches the inner one.
+func TestTrackerWrapForwards(t *testing.T) {
+	tr := NewTracker()
+	var got []Progress
+	obs := tr.Wrap(func(p Progress) { got = append(got, p) })
+	obs(Progress{Sweep: "range", R: 2})
+	if len(got) != 1 || got[0].R != 2 {
+		t.Fatalf("forwarded events = %+v", got)
+	}
+	if tr.Snapshot().Completed != 1 {
+		t.Fatal("tracker missed the event")
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker()
+	tr.SetTotal(800)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Observe(Progress{Sweep: "range", R: 6, Elapsed: time.Microsecond})
+				tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := tr.Snapshot(); s.Completed != 800 || !s.Done {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+// TestProgressETA pins the extrapolation arithmetic.
+func TestProgressETA(t *testing.T) {
+	p := Progress{Completed: 2, Total: 6, SweepElapsed: 10 * time.Second}
+	if got := p.ETA(); got != 20*time.Second {
+		t.Fatalf("ETA = %v, want 20s", got)
+	}
+	for _, zero := range []Progress{
+		{},
+		{Total: 6},
+		{Completed: 6, Total: 6, SweepElapsed: time.Second},
+	} {
+		if zero.ETA() != 0 {
+			t.Errorf("ETA(%+v) = %v, want 0", zero, zero.ETA())
+		}
+	}
+}
+
+// TestProgressJSONSweepFields: the stamped sweep-level fields reach the
+// JSONL progress encoding.
+func TestProgressJSONSweepFields(t *testing.T) {
+	p := Progress{Sweep: "range", R: 6, Completed: 2, Total: 6,
+		SweepElapsed: 10 * time.Second}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["completed"] != float64(2) || m["total"] != float64(6) {
+		t.Errorf("counts missing: %s", b)
+	}
+	if m["eta_ms"] != float64(20000) {
+		t.Errorf("eta_ms = %v, want 20000", m["eta_ms"])
+	}
+	if s := p.String(); !strings.Contains(s, "[2/6, eta 20s]") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -15,6 +15,7 @@ type Instrumentation struct {
 	traceFile   *JSONLFile
 	stopProfile func() error
 	metricsMode string
+	closed      bool
 }
 
 // StartInstrumentation opens the requested sinks. traceOut names a JSONL
@@ -70,8 +71,15 @@ func (in *Instrumentation) WithTracer(extra ...Tracer) Tracer {
 
 // Close flushes and closes every sink: the trace file is flushed, the
 // metrics summary (if requested) is rendered to w, and the profiles are
-// written. The first error wins, but every sink is still closed.
+// written. The first error wins, but every sink is still closed. Close is
+// idempotent — only the first call does anything, so the metrics summary is
+// rendered exactly once even when a CLI both defers Close and calls it on
+// its happy path.
 func (in *Instrumentation) Close(w io.Writer) error {
+	if in.closed {
+		return nil
+	}
+	in.closed = true
 	var first error
 	keep := func(err error) {
 		if first == nil && err != nil {

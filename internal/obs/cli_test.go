@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStartInstrumentationRejectsBadMetricsMode(t *testing.T) {
+	if _, err := StartInstrumentation("", "yaml", "", ""); err == nil ||
+		!strings.Contains(err.Error(), "metrics mode") {
+		t.Fatalf("invalid metrics mode accepted (err=%v)", err)
+	}
+}
+
+func TestStartInstrumentationNilFastPath(t *testing.T) {
+	in, err := StartInstrumentation("", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Tracer() != nil {
+		t.Error("no sinks requested but Tracer() is non-nil (breaks the nil fast path)")
+	}
+	if err := in.Close(os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// openFDs counts this process's open file descriptors (Linux only).
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ents)
+}
+
+// TestStartInstrumentationProfileFailureClosesSinks: when the CPU profile
+// cannot be started, the already-opened trace file must be closed — no fd
+// may leak out of the failed constructor.
+func TestStartInstrumentationProfileFailureClosesSinks(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("fd accounting uses /proc/self/fd")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	badCPU := filepath.Join(dir, "no-such-dir", "cpu.pprof")
+	before := openFDs(t)
+	in, err := StartInstrumentation(trace, "text", badCPU, "")
+	if err == nil {
+		in.Close(os.Stderr)
+		t.Fatal("profile start against a missing directory succeeded")
+	}
+	if after := openFDs(t); after != before {
+		t.Errorf("fd leak: %d open before, %d after failed StartInstrumentation", before, after)
+	}
+}
+
+func TestStartInstrumentationTraceFailure(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing", "trace.jsonl")
+	if _, err := StartInstrumentation(bad, "", "", ""); err == nil {
+		t.Fatal("trace file in a missing directory accepted")
+	}
+}
+
+// TestInstrumentationCloseRendersOnce: the metrics summary appears exactly
+// once even when Close runs twice (deferred cleanup after a happy-path
+// Close is the CLIs' standard shape).
+func TestInstrumentationCloseRendersOnce(t *testing.T) {
+	in, err := StartInstrumentation("", "text", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Tracer().Trace(Event{Kind: KindSessionEnd, Rounds: 2, ShortSlots: 10, LongSlots: 1})
+	var buf bytes.Buffer
+	if err := in.Close(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(&buf); err != nil {
+		t.Fatalf("second Close errored: %v", err)
+	}
+	if n := strings.Count(buf.String(), "metrics:"); n != 1 {
+		t.Fatalf("metrics summary rendered %d times, want 1:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "1 sessions") {
+		t.Errorf("summary missing the collected session:\n%s", buf.String())
+	}
+}
+
+func TestInstrumentationCloseJSONMode(t *testing.T) {
+	in, err := StartInstrumentation("", "json", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Tracer().Trace(Event{Kind: KindSessionEnd, Rounds: 1})
+	var buf bytes.Buffer
+	if err := in.Close(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"sessions":1`) {
+		t.Fatalf("json summary = %q", buf.String())
+	}
+}

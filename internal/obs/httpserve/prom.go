@@ -1,0 +1,72 @@
+package httpserve
+
+import (
+	"fmt"
+	"io"
+
+	"netags/internal/obs"
+	"netags/internal/stats"
+)
+
+// WriteMetrics renders a metrics snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters for the session/round/slot totals,
+// native histograms for the power-of-two obs.Hist distributions (bucket b
+// covers [2^(b−1), 2^b), so the cumulative `le` bound of bucket b is
+// 2^b − 1), and gauge expansions of the stats.Sample summaries.
+func WriteMetrics(w io.Writer, m obs.Metrics) {
+	counter(w, "netags_sessions_total", "Completed protocol sessions.", m.Sessions)
+	counter(w, "netags_truncated_sessions_total", "Sessions that ended with data still in flight.", m.TruncatedSessions)
+	counter(w, "netags_rounds_total", "Protocol rounds executed.", m.Rounds)
+	counter(w, "netags_short_slots_total", "Air time spent in short (1-bit) slots.", m.ShortSlots)
+	counter(w, "netags_long_slots_total", "Air time spent in long (96-bit) slots.", m.LongSlots)
+	counter(w, "netags_busy_slots_total", "Busy slots collected into final bitmaps.", m.BusySlots)
+	histogram(w, "netags_round_new_busy_slots", "Per-round new-busy counts (the information waves of the paper's Section III).", m.Waves)
+	histogram(w, "netags_check_frame_slots", "Checking-frame lengths executed per round.", m.CheckSlots)
+	histogram(w, "netags_tag_sent_bits", "Per-tag or per-session-max bits sent.", m.SentHist)
+	histogram(w, "netags_tag_recv_bits", "Per-tag or per-session-max bits received.", m.RecvHist)
+	sample(w, "netags_sent_bits", "Bits-sent distribution summary.", m.SentBits)
+	sample(w, "netags_recv_bits", "Bits-received distribution summary.", m.RecvBits)
+}
+
+func counter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// histogram renders an obs.Hist with cumulative buckets. Buckets past the
+// highest non-empty one collapse into +Inf; bucket 0 (exact zeros) keeps
+// its natural le="0" bound.
+func histogram(w io.Writer, name, help string, h obs.Hist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	top := 0
+	for b, c := range h.Counts {
+		if c > 0 {
+			top = b
+		}
+	}
+	var cum int64
+	for b := 0; b <= top; b++ {
+		cum += h.Counts[b]
+		// Bucket b holds integer values ≤ 2^b − 1 (and bucket 0 holds zeros).
+		le := int64(0)
+		if b > 0 {
+			le = int64(1)<<b - 1
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.N)
+	fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.N)
+}
+
+// sample expands a stats.Sample into _count/_mean/_min/_max/_stddev gauges.
+func sample(w io.Writer, name, help string, s stats.Sample) {
+	fmt.Fprintf(w, "# HELP %s_count %s\n# TYPE %s_count gauge\n%s_count %d\n",
+		name, help, name, name, s.N())
+	for _, g := range []struct {
+		suffix string
+		v      float64
+	}{
+		{"mean", s.Mean()}, {"min", s.Min()}, {"max", s.Max()}, {"stddev", s.StdDev()},
+	} {
+		fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %g\n", name, g.suffix, name, g.suffix, g.v)
+	}
+}

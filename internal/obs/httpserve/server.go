@@ -1,0 +1,173 @@
+// Package httpserve is the simulator's live introspection server: an
+// opt-in HTTP endpoint (the CLIs' -http flag, off by default) that makes a
+// long-running sweep observable while it runs instead of only after it
+// exits. It serves:
+//
+//	/metrics       Prometheus text exposition of the live obs.Collector
+//	               snapshot, histogram buckets included
+//	/progress      JSON of the running sweep (completed/total work items,
+//	               per-point timing, throughput, ETA) from an
+//	               experiment.Tracker-style source
+//	/events?n=K    the most recent K events retained by an obs.Ring
+//	/debug/pprof/  the standard runtime profiles
+//
+// The server is strictly observe-only: it reads snapshot copies guarded by
+// the sinks' own locks and never touches simulation state, so attaching it
+// cannot change any reported number, and with the flag unset none of this
+// code runs at all (the nil-tracer fast path is untouched).
+package httpserve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"strconv"
+	"time"
+
+	"netags/internal/obs"
+)
+
+// Options selects which sinks the server exposes. Nil fields disable their
+// endpoint (it answers 404).
+type Options struct {
+	// Collector backs /metrics.
+	Collector *obs.Collector
+	// Ring backs /events.
+	Ring *obs.Ring
+	// Progress backs /progress: it returns the current sweep state as JSON
+	// (experiment.(*Tracker).ProgressJSON is the canonical source). Nil
+	// serves {"active":false}.
+	Progress func() ([]byte, error)
+}
+
+// NewHandler builds the introspection mux for the options. It is exported
+// separately from Start so tests can drive it with net/http/httptest.
+func NewHandler(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "netags introspection\n\n/metrics\n/progress\n/events?n=K\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if o.Collector == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, o.Collector.Snapshot())
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if o.Progress == nil {
+			fmt.Fprint(w, `{"active":false}`+"\n")
+			return
+		}
+		b, err := o.Progress()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(b, '\n'))
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if o.Ring == nil {
+			http.NotFound(w, r)
+			return
+		}
+		limit := o.Ring.Cap()
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n parameter", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		evs := o.Ring.Last(limit)
+		w.Header().Set("Content-Type", "application/json")
+		// The hand-rolled event encoding (obs.Event.AppendJSON) is reused so
+		// the endpoint and the -trace-out JSONL stay byte-compatible per event.
+		buf := make([]byte, 0, 256+64*len(evs))
+		buf = append(buf, fmt.Sprintf(`{"total":%d,"returned":%d,"events":[`, o.Ring.Total(), len(evs))...)
+		for i, ev := range evs {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = ev.AppendJSON(buf)
+		}
+		buf = append(buf, ']', '}', '\n')
+		w.Write(buf)
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// Server is a running introspection server. The zero of *Server is usable:
+// every method no-ops on a nil receiver, so CLIs can wire it
+// unconditionally behind an optional flag.
+type Server struct {
+	opts Options
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Start listens on addr (":0" picks a free port) and serves the
+// introspection endpoints in a background goroutine until Close.
+func Start(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpserve: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		opts: o,
+		ln:   ln,
+		srv: &http.Server{
+			Handler:           NewHandler(o),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Tracer returns the event sink feeding the server's collector and ring
+// (nil when neither is configured, or on a nil receiver — preserving the
+// nil-tracer fast path when -http is unset).
+func (s *Server) Tracer() obs.Tracer {
+	if s == nil {
+		return nil
+	}
+	var sinks []obs.Tracer
+	if s.opts.Collector != nil {
+		sinks = append(sinks, s.opts.Collector)
+	}
+	if s.opts.Ring != nil {
+		sinks = append(sinks, s.opts.Ring)
+	}
+	return obs.Multi(sinks...)
+}
+
+// Close stops listening and shuts the server down immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,202 @@
+package httpserve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"netags/internal/experiment"
+	"netags/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestServerLiveSweep is the acceptance test: a real sweep runs with the
+// server's sinks attached, then /metrics parses as Prometheus exposition,
+// /progress totals match the sweep grid, and /events returns the ring tail.
+func TestServerLiveSweep(t *testing.T) {
+	coll := obs.NewCollector()
+	ring := obs.NewRing(64)
+	tracker := experiment.NewTracker()
+	ts := httptest.NewServer(NewHandler(Options{
+		Collector: coll,
+		Ring:      ring,
+		Progress:  tracker.ProgressJSON,
+	}))
+	defer ts.Close()
+
+	cfg := experiment.Quick()
+	cfg.N = 300
+	cfg.Trials = 2
+	cfg.RValues = []float64{6}
+	cfg.Workers = 2
+	cfg.Tracer = obs.Multi(coll, ring)
+	total := len(cfg.RValues) * cfg.Trials
+	tracker.SetTotal(total)
+	if _, err := experiment.RunContext(context.Background(), cfg, tracker.Wrap(nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	// /metrics: valid exposition, with the sweep's sessions counted live.
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	samples := checkExposition(t, string(body))
+	// 3 protocols × 2 trials, SICP and the two CCM runs each end a session.
+	if samples["netags_sessions_total"] < 6 {
+		t.Errorf("sessions_total = %g, want >= 6", samples["netags_sessions_total"])
+	}
+	if samples["netags_rounds_total"] <= 0 {
+		t.Errorf("rounds_total = %g, want > 0", samples["netags_rounds_total"])
+	}
+
+	// /progress: totals match the grid and the sweep reads done.
+	code, body = get(t, ts.URL+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var prog struct {
+		Active    bool  `json:"active"`
+		Completed int   `json:"completed"`
+		Total     int   `json:"total"`
+		Done      bool  `json:"done"`
+		Points    []any `json:"points"`
+		Last      any   `json:"last"`
+	}
+	if err := json.Unmarshal(body, &prog); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if !prog.Active || !prog.Done || prog.Completed != total || prog.Total != total {
+		t.Errorf("/progress = %+v, want %d/%d done", prog, total, total)
+	}
+	if len(prog.Points) != len(cfg.RValues) || prog.Last == nil {
+		t.Errorf("/progress points/last missing: %s", body)
+	}
+
+	// /events: the most recent ring contents, JSON-parseable, tail-limited.
+	code, body = get(t, ts.URL+"/events?n=5")
+	if code != http.StatusOK {
+		t.Fatalf("/events status %d", code)
+	}
+	var evs struct {
+		Total    uint64           `json:"total"`
+		Returned int              `json:"returned"`
+		Events   []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal(body, &evs); err != nil {
+		t.Fatalf("/events not JSON: %v\n%s", err, body)
+	}
+	if evs.Total != ring.Total() {
+		t.Errorf("/events total = %d, ring saw %d", evs.Total, ring.Total())
+	}
+	if evs.Returned != 5 || len(evs.Events) != 5 {
+		t.Errorf("/events returned %d/%d events, want 5", evs.Returned, len(evs.Events))
+	}
+	want := ring.Last(5)
+	for i, ev := range evs.Events {
+		if ev["kind"] != want[i].Kind.String() {
+			t.Errorf("event %d kind = %v, ring has %s", i, ev["kind"], want[i].Kind)
+		}
+	}
+
+	// /debug/pprof: the index responds.
+	if code, _ := get(t, ts.URL+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestServerDisabledEndpoints(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(Options{}))
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/events"} {
+		if code, _ := get(t, ts.URL+path); code != http.StatusNotFound {
+			t.Errorf("%s without a sink: status %d, want 404", path, code)
+		}
+	}
+	code, body := get(t, ts.URL+"/progress")
+	if code != http.StatusOK || string(body) != `{"active":false}`+"\n" {
+		t.Errorf("/progress without a source: %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path served")
+	}
+	code, body = get(t, ts.URL+"/")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Errorf("index page: %d %q", code, body)
+	}
+}
+
+func TestServerEventsBadParam(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(Options{Ring: obs.NewRing(4)}))
+	defer ts.Close()
+	if code, _ := get(t, ts.URL+"/events?n=x"); code != http.StatusBadRequest {
+		t.Errorf("bad n accepted: %d", code)
+	}
+	code, body := get(t, ts.URL+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("/events status %d", code)
+	}
+	var evs struct {
+		Events []any `json:"events"`
+	}
+	if err := json.Unmarshal(body, &evs); err != nil || len(evs.Events) != 0 {
+		t.Errorf("empty ring events = %s (err=%v)", body, err)
+	}
+}
+
+// TestStartServesAndCloses exercises the real listener path the CLIs use.
+func TestStartServesAndCloses(t *testing.T) {
+	coll := obs.NewCollector()
+	s, err := Start("127.0.0.1:0", Options{Collector: coll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracer() == nil {
+		t.Fatal("server with a collector must expose a tracer")
+	}
+	s.Tracer().Trace(obs.Event{Kind: obs.KindSessionEnd, Rounds: 1})
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics over TCP: status %d", code)
+	}
+	if samples := checkExposition(t, string(body)); samples["netags_sessions_total"] != 1 {
+		t.Errorf("live session not visible: %g", samples["netags_sessions_total"])
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}
+
+// TestNilServer: the nil receiver contract the CLIs rely on when -http is
+// unset — every method no-ops and Tracer() preserves the nil fast path.
+func TestNilServer(t *testing.T) {
+	var s *Server
+	if s.Tracer() != nil {
+		t.Error("nil server must yield a nil tracer")
+	}
+	if s.Addr() != "" {
+		t.Error("nil server has an address")
+	}
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+}

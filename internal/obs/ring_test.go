@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(8)
+	for i := 1; i <= 3; i++ {
+		r.Trace(Event{Kind: KindRound, Round: i})
+	}
+	if r.Total() != 3 || r.Cap() != 8 {
+		t.Fatalf("total=%d cap=%d", r.Total(), r.Cap())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Round != i+1 {
+			t.Errorf("event %d has round %d", i, ev.Round)
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Trace(Event{Kind: KindRound, Round: i})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total=%d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Round != 7+i { // oldest-first: rounds 7..10
+			t.Errorf("event %d has round %d, want %d", i, ev.Round, 7+i)
+		}
+	}
+}
+
+func TestRingLast(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Trace(Event{Kind: KindRound, Round: i})
+	}
+	last := r.Last(2)
+	if len(last) != 2 || last[0].Round != 5 || last[1].Round != 6 {
+		t.Fatalf("Last(2) = %+v", last)
+	}
+	if got := r.Last(100); len(got) != 4 {
+		t.Fatalf("Last(100) returned %d events", len(got))
+	}
+	if got := r.Last(-1); len(got) != 0 {
+		t.Fatalf("Last(-1) returned %d events", len(got))
+	}
+}
+
+func TestRingDefaultSize(t *testing.T) {
+	if got := NewRing(0).Cap(); got != DefaultRingSize {
+		t.Fatalf("default cap %d", got)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Trace(Event{Kind: KindRound, Reader: g, Round: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 1600 {
+		t.Fatalf("total=%d, want 1600", r.Total())
+	}
+	if len(r.Events()) != 64 {
+		t.Fatalf("retained %d", len(r.Events()))
+	}
+}

@@ -2,12 +2,24 @@
 // document on stdout (the Makefile's bench target pipes through it to write
 // BENCH_observability.json). Each benchmark line is kept verbatim in "raw",
 // so `jq -r '.benchmarks[].raw'` reconstructs a benchstat-compatible input,
-// alongside the parsed ns/op, B/op, and allocs/op.
+// alongside the parsed ns/op, B/op, and allocs/op. Repeated -count runs are
+// rolled up into per-benchmark summary statistics in "summary".
+//
+// The compare subcommand turns the document into a regression gate:
+//
+//	go test -bench=. -benchmem -count=3 ./... \
+//	    | benchjson compare -baseline BENCH_observability.json
+//
+// reads fresh benchmark output on stdin, aggregates it the same way, and
+// exits 1 when any benchmark's mean ns/op or allocs/op regressed beyond the
+// tolerance relative to the committed baseline (exit 2 on usage/parse
+// errors, so CI can tell "slower" from "broken").
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -20,6 +32,10 @@ import (
 var (
 	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 	metric    = regexp.MustCompile(`([\d.]+)\s+(\S+)`)
+	// cpuSuffix is the trailing -N that `go test` appends to benchmark names
+	// when GOMAXPROCS != 1; stripped when grouping runs into summaries so a
+	// baseline recorded on one machine compares against another.
+	cpuSuffix = regexp.MustCompile(`-\d+$`)
 )
 
 type result struct {
@@ -33,16 +49,61 @@ type result struct {
 	Raw         string  `json:"raw"`
 }
 
+// stat aggregates one metric across a benchmark's repeated -count runs.
+type stat struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func newStat(vs []float64) stat {
+	s := stat{Min: vs[0], Max: vs[0]}
+	for _, v := range vs {
+		s.Mean += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean /= float64(len(vs))
+	return s
+}
+
+// summary is the per-benchmark rollup: all runs sharing a normalized name
+// (the -GOMAXPROCS suffix stripped) reduced to mean/min/max per metric.
+type summary struct {
+	Name        string `json:"name"`
+	Runs        int    `json:"runs"`
+	NsPerOp     stat   `json:"ns_per_op"`
+	BytesPerOp  stat   `json:"bytes_per_op"`
+	AllocsPerOp stat   `json:"allocs_per_op"`
+}
+
 type document struct {
 	// Goos/Goarch/Pkg/CPU echo the go test preamble when present.
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []result `json:"benchmarks"`
+	Goos       string    `json:"goos,omitempty"`
+	Goarch     string    `json:"goarch,omitempty"`
+	Pkg        string    `json:"pkg,omitempty"`
+	CPU        string    `json:"cpu,omitempty"`
+	Benchmarks []result  `json:"benchmarks"`
+	Summary    []summary `json:"summary,omitempty"`
 }
 
 func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "compare" {
+		ok, err := runCompare(args[1:], os.Stdin, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -50,6 +111,18 @@ func main() {
 }
 
 func run(in io.Reader, out io.Writer) error {
+	doc, err := parse(in)
+	if err != nil {
+		return err
+	}
+	doc.Summary = summarize(doc.Benchmarks)
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// parse reads `go test -bench` output into a document (without summaries).
+func parse(in io.Reader) (document, error) {
 	var doc document
 	preamble := map[string]*string{
 		"goos: ": &doc.Goos, "goarch: ": &doc.Goarch,
@@ -69,7 +142,7 @@ func run(in io.Reader, out io.Writer) error {
 		}
 		iter, err := strconv.ParseInt(m[2], 10, 64)
 		if err != nil {
-			return fmt.Errorf("line %q: %w", line, err)
+			return doc, fmt.Errorf("line %q: %w", line, err)
 		}
 		r := result{Name: m[1], Iter: iter, Raw: line}
 		for _, pair := range metric.FindAllStringSubmatch(m[3], -1) {
@@ -89,12 +162,149 @@ func run(in io.Reader, out io.Writer) error {
 		doc.Benchmarks = append(doc.Benchmarks, r)
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return doc, err
 	}
 	if len(doc.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark lines on stdin")
+		return doc, fmt.Errorf("no benchmark lines on stdin")
 	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return doc, nil
+}
+
+// normalize strips the -GOMAXPROCS suffix so runs of the same benchmark on
+// differently-sized machines group under one summary name.
+func normalize(name string) string {
+	return cpuSuffix.ReplaceAllString(name, "")
+}
+
+// summarize groups results by normalized name, preserving first-seen order.
+func summarize(bs []result) []summary {
+	type acc struct{ ns, bytes, allocs []float64 }
+	byName := map[string]*acc{}
+	var order []string
+	for _, b := range bs {
+		name := normalize(b.Name)
+		a := byName[name]
+		if a == nil {
+			a = &acc{}
+			byName[name] = a
+			order = append(order, name)
+		}
+		a.ns = append(a.ns, b.NsPerOp)
+		a.bytes = append(a.bytes, b.BytesPerOp)
+		a.allocs = append(a.allocs, b.AllocsPerOp)
+	}
+	out := make([]summary, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		out = append(out, summary{
+			Name:        name,
+			Runs:        len(a.ns),
+			NsPerOp:     newStat(a.ns),
+			BytesPerOp:  newStat(a.bytes),
+			AllocsPerOp: newStat(a.allocs),
+		})
+	}
+	return out
+}
+
+// runCompare implements the `compare` subcommand: fresh bench output on in,
+// the committed baseline JSON named by -baseline. Returns ok=false when a
+// regression beyond tolerance was found (the caller exits 1), an error for
+// usage or parse failures (exit 2).
+func runCompare(args []string, in io.Reader, out io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	var (
+		baseline = fs.String("baseline", "", "baseline JSON document written by benchjson (required)")
+		tol      = fs.Float64("tolerance", 0.30, "allowed fractional increase of mean ns/op over the baseline")
+		allocTol = fs.Float64("alloc-tolerance", 0.10, "allowed fractional increase of mean allocs/op over the baseline")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if *baseline == "" {
+		return false, fmt.Errorf("compare: -baseline is required")
+	}
+	baseDoc, err := readBaseline(*baseline)
+	if err != nil {
+		return false, err
+	}
+	cur, err := parse(in)
+	if err != nil {
+		return false, err
+	}
+	return compare(out, baseDoc, summarize(cur.Benchmarks), *tol, *allocTol), nil
+}
+
+// readBaseline loads a benchjson document and ensures it carries summaries
+// (documents written before the rollup existed only have raw benchmarks).
+func readBaseline(path string) ([]summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(doc.Summary) > 0 {
+		return doc.Summary, nil
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("baseline %s: no benchmarks", path)
+	}
+	return summarize(doc.Benchmarks), nil
+}
+
+// compare prints one verdict row per benchmark and reports overall success.
+// A benchmark regresses when its mean ns/op exceeds the baseline mean by
+// more than tol, or its mean allocs/op exceeds the baseline by more than
+// allocTol plus half an allocation (the absolute slack keeps a 0→0.33
+// flicker on a zero-alloc baseline from tripping the relative check).
+func compare(out io.Writer, base, cur []summary, tol, allocTol float64) bool {
+	curBy := map[string]summary{}
+	for _, s := range cur {
+		curBy[s.Name] = s
+	}
+	baseNames := map[string]bool{}
+	ok := true
+	for _, b := range base {
+		baseNames[b.Name] = true
+		c, found := curBy[b.Name]
+		if !found {
+			fmt.Fprintf(out, "warn  %-50s missing from current run\n", b.Name)
+			continue
+		}
+		verdict := "ok   "
+		nsLimit := b.NsPerOp.Mean * (1 + tol)
+		allocLimit := b.AllocsPerOp.Mean*(1+allocTol) + 0.5
+		if c.NsPerOp.Mean > nsLimit || c.AllocsPerOp.Mean > allocLimit {
+			verdict = "FAIL "
+			ok = false
+		}
+		fmt.Fprintf(out, "%s %-50s ns/op %10.0f -> %10.0f (%+6.1f%%, limit %+.0f%%)  allocs %6.1f -> %6.1f\n",
+			verdict, b.Name,
+			b.NsPerOp.Mean, c.NsPerOp.Mean, 100*delta(b.NsPerOp.Mean, c.NsPerOp.Mean), 100*tol,
+			b.AllocsPerOp.Mean, c.AllocsPerOp.Mean)
+	}
+	for _, c := range cur {
+		if !baseNames[c.Name] {
+			fmt.Fprintf(out, "new   %-50s ns/op %10.0f  allocs %6.1f (not in baseline)\n",
+				c.Name, c.NsPerOp.Mean, c.AllocsPerOp.Mean)
+		}
+	}
+	if ok {
+		fmt.Fprintf(out, "bench-compare: %d benchmarks within tolerance (ns/op +%.0f%%, allocs +%.0f%%)\n",
+			len(base), 100*tol, 100*allocTol)
+	} else {
+		fmt.Fprintln(out, "bench-compare: regression detected")
+	}
+	return ok
+}
+
+func delta(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base
 }

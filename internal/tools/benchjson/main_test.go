@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -87,4 +89,198 @@ func TestRunMalformed(t *testing.T) {
 			t.Errorf("want one benchmark with zero metrics, got %+v", doc.Benchmarks)
 		}
 	})
+}
+
+func TestSummaryRollup(t *testing.T) {
+	input := `BenchmarkHot-8	100	100 ns/op	64 B/op	2 allocs/op
+BenchmarkHot-8	100	200 ns/op	64 B/op	2 allocs/op
+BenchmarkHot-8	100	300 ns/op	64 B/op	2 allocs/op
+BenchmarkCold	10	5000 ns/op
+`
+	var out strings.Builder
+	if err := run(strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Summary) != 2 {
+		t.Fatalf("want 2 summaries, got %+v", doc.Summary)
+	}
+	hot := doc.Summary[0]
+	if hot.Name != "BenchmarkHot" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", hot.Name)
+	}
+	if hot.Runs != 3 || hot.NsPerOp.Mean != 200 || hot.NsPerOp.Min != 100 || hot.NsPerOp.Max != 300 {
+		t.Errorf("ns rollup wrong: %+v", hot)
+	}
+	if hot.AllocsPerOp.Mean != 2 || hot.BytesPerOp.Mean != 64 {
+		t.Errorf("bytes/allocs rollup wrong: %+v", hot)
+	}
+	if cold := doc.Summary[1]; cold.Name != "BenchmarkCold" || cold.Runs != 1 || cold.NsPerOp.Mean != 5000 {
+		t.Errorf("single-run summary wrong: %+v", cold)
+	}
+}
+
+// writeBaseline stores a benchjson document for compare tests; using run()
+// itself keeps the fixture in the exact shape `make bench` commits.
+func writeBaseline(t *testing.T, benchOutput string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(strings.NewReader(benchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const compareBaseline = `BenchmarkHot-8	100	100 ns/op	64 B/op	2 allocs/op
+BenchmarkHot-8	100	120 ns/op	64 B/op	2 allocs/op
+BenchmarkZeroAlloc-8	100	50 ns/op	0 B/op	0 allocs/op
+`
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, compareBaseline)
+	// Means: Hot 110 ns, 2 allocs; ZeroAlloc 50 ns, 0 allocs. A 20% ns
+	// increase and a 0-alloc flicker both sit inside the default gates.
+	current := `BenchmarkHot-4	100	132 ns/op	64 B/op	2 allocs/op
+BenchmarkZeroAlloc-4	100	55 ns/op	0 B/op	0 allocs/op
+BenchmarkBrandNew-4	100	10 ns/op	0 B/op	0 allocs/op
+`
+	var out strings.Builder
+	ok, err := runCompare([]string{"-baseline", base}, strings.NewReader(current), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("within-tolerance run flagged as regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkBrandNew") || !strings.Contains(out.String(), "not in baseline") {
+		t.Errorf("new benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	base := writeBaseline(t, compareBaseline)
+	// Hot mean 110 -> 200 ns/op is +82%, far beyond the 30% default.
+	current := `BenchmarkHot-4	100	200 ns/op	64 B/op	2 allocs/op
+BenchmarkZeroAlloc-4	100	50 ns/op	0 B/op	0 allocs/op
+`
+	var out strings.Builder
+	ok, err := runCompare([]string{"-baseline", base}, strings.NewReader(current), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("ns/op regression not caught:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "BenchmarkHot") {
+		t.Errorf("failing benchmark not named:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := writeBaseline(t, compareBaseline)
+	// Same speed, but the zero-alloc path now allocates: 0 -> 1 allocs/op
+	// clears the absolute half-allocation slack and must fail.
+	current := `BenchmarkHot-4	100	110 ns/op	64 B/op	2 allocs/op
+BenchmarkZeroAlloc-4	100	50 ns/op	16 B/op	1 allocs/op
+`
+	var out strings.Builder
+	ok, err := runCompare([]string{"-baseline", base}, strings.NewReader(current), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("alloc regression not caught:\n%s", out.String())
+	}
+}
+
+func TestCompareToleranceFlag(t *testing.T) {
+	base := writeBaseline(t, compareBaseline)
+	current := `BenchmarkHot-4	100	200 ns/op	64 B/op	2 allocs/op
+BenchmarkZeroAlloc-4	100	50 ns/op	0 B/op	0 allocs/op
+`
+	var out strings.Builder
+	ok, err := runCompare([]string{"-baseline", base, "-tolerance", "1.0"},
+		strings.NewReader(current), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("-tolerance 1.0 must admit a +82%% change:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingBenchmarkWarns(t *testing.T) {
+	base := writeBaseline(t, compareBaseline)
+	current := "BenchmarkHot-4	100	110 ns/op	64 B/op	2 allocs/op\n"
+	var out strings.Builder
+	ok, err := runCompare([]string{"-baseline", base}, strings.NewReader(current), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("a benchmark absent from the current run must warn, not fail:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "missing from current run") {
+		t.Errorf("missing benchmark not warned about:\n%s", out.String())
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	t.Run("baseline required", func(t *testing.T) {
+		var out strings.Builder
+		if _, err := runCompare(nil, strings.NewReader("x"), &out); err == nil {
+			t.Fatal("missing -baseline accepted")
+		}
+	})
+	t.Run("baseline unreadable", func(t *testing.T) {
+		var out strings.Builder
+		_, err := runCompare([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json")},
+			strings.NewReader("x"), &out)
+		if err == nil {
+			t.Fatal("unreadable baseline accepted")
+		}
+	})
+	t.Run("baseline not benchjson", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "bad.json")
+		os.WriteFile(path, []byte(`{"benchmarks":[]}`), 0o644)
+		var out strings.Builder
+		if _, err := runCompare([]string{"-baseline", path}, strings.NewReader("x"), &out); err == nil {
+			t.Fatal("empty baseline accepted")
+		}
+	})
+	t.Run("no current benchmarks", func(t *testing.T) {
+		base := writeBaseline(t, compareBaseline)
+		var out strings.Builder
+		if _, err := runCompare([]string{"-baseline", base}, strings.NewReader("PASS\n"), &out); err == nil {
+			t.Fatal("empty current input accepted")
+		}
+	})
+}
+
+// TestCompareBaselineWithoutSummary: documents written before the rollup
+// existed carry only raw benchmarks; compare must summarize them on load.
+func TestCompareBaselineWithoutSummary(t *testing.T) {
+	legacy := `{"benchmarks":[
+	  {"name":"BenchmarkHot-8","iterations":100,"ns_per_op":100,"allocs_per_op":2,"raw":"x"},
+	  {"name":"BenchmarkHot-8","iterations":100,"ns_per_op":120,"allocs_per_op":2,"raw":"x"}]}`
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current := "BenchmarkHot-4	100	112 ns/op	16 B/op	2 allocs/op\n"
+	var out strings.Builder
+	ok, err := runCompare([]string{"-baseline", path}, strings.NewReader(current), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("legacy baseline comparison failed:\n%s", out.String())
+	}
 }
