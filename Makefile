@@ -6,7 +6,7 @@ verify:
 	go build ./...
 	go vet ./...
 	go test ./...
-	go test -race ./internal/core/... ./internal/obs/... ./internal/simtest/... ./internal/experiment/...
+	go test -race ./internal/core/... ./internal/obs/... ./internal/simtest/... ./internal/experiment/... ./internal/serve/...
 ifeq ($(FUZZ),1)
 	$(MAKE) fuzz-smoke
 endif
@@ -21,6 +21,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzDeriveSeed$$' -fuzztime $(FUZZTIME) ./internal/prng/
 	go test -run '^$$' -fuzz '^FuzzTopologyTiers$$' -fuzztime $(FUZZTIME) ./internal/topology/
 	go test -run '^$$' -fuzz '^FuzzSession$$' -fuzztime $(FUZZTIME) ./internal/simtest/
+	go test -run '^$$' -fuzz '^FuzzJobSpecKey$$' -fuzztime $(FUZZTIME) ./internal/serve/
 
 # Sequential-vs-parallel sweep benchmark (one full Quick() sweep each;
 # results are bit-identical, only the wall clock differs).
@@ -28,12 +29,13 @@ bench-sweep:
 	go test -bench=ExperimentQuick -benchtime=1x -run='^$$' .
 
 # The tracked benchmark suite: tracing overhead (core), the bitmap OR-merge
-# hot paths, sweep worker scaling, and the -http Tracker bookkeeping. The raw
-# `go test -bench` lines plus per-benchmark mean/min/max rollups land in
-# BENCH_observability.json (recover a benchstat input with
-# `jq -r '.benchmarks[].raw'`).
-BENCH_PKGS    = ./internal/core/ ./internal/bitmap/ ./internal/experiment/
-BENCH_PATTERN = 'SessionTracer|Bitmap|SweepWorkers|TrackerObserve'
+# hot paths, sweep worker scaling, the -http Tracker bookkeeping, and the
+# serve layer's submission fast paths (content-address hashing, cache hits,
+# warm-cache Submit). The raw `go test -bench` lines plus per-benchmark
+# mean/min/max rollups land in BENCH_observability.json (recover a
+# benchstat input with `jq -r '.benchmarks[].raw'`).
+BENCH_PKGS    = ./internal/core/ ./internal/bitmap/ ./internal/experiment/ ./internal/serve/
+BENCH_PATTERN = 'SessionTracer|Bitmap|SweepWorkers|TrackerObserve|ServeSpecKey|ServeCacheGet|ServeSubmitHit'
 bench:
 	go test -bench=$(BENCH_PATTERN) -benchmem -count=5 -run='^$$' $(BENCH_PKGS) \
 		| tee /dev/stderr | go run ./internal/tools/benchjson > BENCH_observability.json

@@ -1,0 +1,75 @@
+// Command ccmserve runs the simulation-as-a-service daemon: a job queue,
+// worker pool, and content-addressed result cache over the experiment
+// sweeps, exposed as a small HTTP API beside the live introspection
+// endpoints (see internal/serve).
+//
+// Example:
+//
+//	ccmserve -addr :8080 -pool 2 -queue 64 -cache 256
+//	curl -s localhost:8080/jobs -d '{"spec":{"n":10000,"trials":5,"r_values":[2,4,6,8,10]}}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netags/internal/obs/httpserve"
+	"netags/internal/serve"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ccmserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled or a SIGINT/SIGTERM arrives. If ready
+// is non-nil the bound address is sent on it once listening (test hook).
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("ccmserve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		queueDepth = fs.Int("queue", 64, "bounded job queue depth (full queue answers 429)")
+		pool       = fs.Int("pool", 2, "concurrent sweep jobs (worker pool size)")
+		jobWorkers = fs.Int("job-workers", 0, "per-job experiment worker cap (0 = cores/pool)")
+		cacheCap   = fs.Int("cache", 256, "result cache capacity in entries (LRU; negative = unbounded)")
+		maxJobs    = fs.Int("max-jobs", 1024, "terminal job records to retain for GET /jobs")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := serve.NewManager(serve.Config{
+		QueueDepth:    *queueDepth,
+		Workers:       *pool,
+		JobWorkers:    *jobWorkers,
+		CacheCapacity: *cacheCap,
+		MaxJobs:       *maxJobs,
+	})
+	srv, err := serve.StartServer(*addr, m, httpserve.Options{}, *drain)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ccmserve: listening on %s (pool=%d queue=%d cache=%d)\n",
+		srv.Addr(), *pool, *queueDepth, *cacheCap)
+	if ready != nil {
+		ready <- srv.Addr()
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "ccmserve: draining...")
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "ccmserve: drained cleanly")
+	return nil
+}

@@ -35,6 +35,22 @@ func (t *Tracker) SetTotal(n int) {
 	t.mu.Unlock()
 }
 
+// Reset returns the tracker to its freshly-constructed state: counts and
+// per-point timing cleared, the elapsed clock restarted. A long-lived server
+// that reuses one tracker across sweeps must Reset between them, or the
+// snapshot keeps reporting the previous sweep's Completed/Total (and a stale
+// "done") alongside the new one's events.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	t.start = time.Now()
+	t.total = 0
+	t.completed = 0
+	t.timing = NewTiming()
+	t.last = Progress{}
+	t.hasLast = false
+	t.mu.Unlock()
+}
+
 // Observe folds one Progress event into the live state.
 func (t *Tracker) Observe(p Progress) {
 	t.mu.Lock()
@@ -44,8 +60,10 @@ func (t *Tracker) Observe(p Progress) {
 	}
 	t.last = p
 	t.hasLast = true
+	// Capture the aggregator under the lock: Reset swaps it for a fresh one.
+	timing := t.timing
 	t.mu.Unlock()
-	t.timing.Observe(p)
+	timing.Observe(p)
 }
 
 // Wrap returns an observer that records each event and forwards it to next
@@ -111,6 +129,7 @@ func (t *Tracker) Snapshot() TrackerSnapshot {
 		last := t.last
 		s.Last = &last
 	}
+	timing := t.timing
 	t.mu.Unlock()
 
 	s.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
@@ -121,7 +140,7 @@ func (t *Tracker) Snapshot() TrackerSnapshot {
 			s.ETAMS = perItem * float64(s.Total-s.Completed) / float64(time.Millisecond)
 		}
 	}
-	for _, pt := range t.timing.Points() {
+	for _, pt := range timing.Points() {
 		s.Points = append(s.Points, TrackerPoint{
 			Label:       pt.Label(),
 			Items:       pt.Items,

@@ -110,6 +110,64 @@ func TestTrackerWrapForwards(t *testing.T) {
 	}
 }
 
+// TestTrackerReset is the long-lived-server regression test: a tracker
+// reused across sweeps must not report the previous sweep's Completed/Total
+// (or a stale "done") after Reset, and the second sweep must count from
+// zero exactly like a fresh tracker.
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker()
+	tr.SetTotal(2)
+	tr.Observe(Progress{Sweep: "range", R: 6, Total: 2, Completed: 1})
+	tr.Observe(Progress{Sweep: "range", R: 6, Total: 2, Completed: 2})
+	if s := tr.Snapshot(); !s.Done || s.Completed != 2 {
+		t.Fatalf("first sweep snapshot = %+v, want 2/2 done", s)
+	}
+
+	tr.Reset()
+	s := tr.Snapshot()
+	if s.Active || s.Done || s.Completed != 0 || s.Total != 0 ||
+		s.Last != nil || len(s.Points) != 0 {
+		t.Fatalf("post-Reset snapshot not pristine: %+v", s)
+	}
+
+	// Second sweep: 3 items over a different point; no first-sweep residue.
+	tr.SetTotal(3)
+	for i := 0; i < 2; i++ {
+		tr.Observe(Progress{Sweep: "loss", Loss: 0.2, Trial: i, Trials: 3})
+	}
+	s = tr.Snapshot()
+	if s.Completed != 2 || s.Total != 3 || s.Done {
+		t.Fatalf("second sweep snapshot = %+v, want 2/3 not done", s)
+	}
+	if len(s.Points) != 1 || s.Points[0].Label != "loss=0.2" || s.Points[0].Items != 2 {
+		t.Fatalf("second sweep points carry residue: %+v", s.Points)
+	}
+	if s.Last == nil || s.Last.Sweep != "loss" {
+		t.Fatalf("last event stale: %+v", s.Last)
+	}
+}
+
+// TestTrackerResetConcurrent: Reset racing Observe/Snapshot must be safe
+// (the timing aggregator swap is the hazard).
+func TestTrackerResetConcurrent(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Observe(Progress{Sweep: "range", R: 6, Elapsed: time.Microsecond})
+				tr.Snapshot()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		tr.Reset()
+	}
+	wg.Wait()
+}
+
 func TestTrackerConcurrent(t *testing.T) {
 	tr := NewTracker()
 	tr.SetTotal(800)

@@ -18,7 +18,9 @@
 package httpserve
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
@@ -39,6 +41,15 @@ type Options struct {
 	// (experiment.(*Tracker).ProgressJSON is the canonical source). Nil
 	// serves {"active":false}.
 	Progress func() ([]byte, error)
+	// Ready backs /readyz: the endpoint answers 200 while Ready returns
+	// true and 503 once it returns false (a job manager flips it during
+	// graceful drain). Nil means always ready. /healthz is independent of
+	// Ready: it answers 200 whenever the process can serve HTTP at all.
+	Ready func() bool
+	// ExtraMetrics, if non-nil, is invoked after the collector snapshot in
+	// /metrics so co-mounted subsystems (the serve layer's cache and queue
+	// counters) can append their own exposition families.
+	ExtraMetrics func(w io.Writer)
 }
 
 // NewHandler builds the introspection mux for the options. It is exported
@@ -51,15 +62,33 @@ func NewHandler(o Options) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "netags introspection\n\n/metrics\n/progress\n/events?n=K\n/debug/pprof/\n")
+		fmt.Fprint(w, "netags introspection\n\n/metrics\n/progress\n/events?n=K\n/healthz\n/readyz\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if o.Collector == nil {
+		if o.Collector == nil && o.ExtraMetrics == nil {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WriteMetrics(w, o.Collector.Snapshot())
+		if o.Collector != nil {
+			WriteMetrics(w, o.Collector.Snapshot())
+		}
+		if o.ExtraMetrics != nil {
+			o.ExtraMetrics(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if o.Ready != nil && !o.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -170,4 +199,14 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish, up to ctx's deadline (then it closes hard). Like
+// every other method it no-ops on a nil receiver.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }

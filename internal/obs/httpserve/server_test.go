@@ -6,7 +6,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"netags/internal/experiment"
 	"netags/internal/obs"
@@ -157,6 +159,101 @@ func TestServerEventsBadParam(t *testing.T) {
 	}
 	if err := json.Unmarshal(body, &evs); err != nil || len(evs.Events) != 0 {
 		t.Errorf("empty ring events = %s (err=%v)", body, err)
+	}
+}
+
+// TestHealthAndReady: /healthz is unconditional, /readyz follows the Ready
+// callback — 200 while accepting, 503 once the source flips (graceful
+// drain), and 200 again if it recovers.
+func TestHealthAndReady(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	ts := httptest.NewServer(NewHandler(Options{Ready: ready.Load}))
+	defer ts.Close()
+
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("ready /readyz = %d %q, want 200 ok", code, body)
+	}
+	ready.Store(false)
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || string(body) != "draining\n" {
+		t.Errorf("draining /readyz = %d %q, want 503 draining", code, body)
+	}
+	// /healthz stays 200 through a drain: the process can still serve HTTP.
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200", code)
+	}
+	ready.Store(true)
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("recovered /readyz = %d, want 200", code)
+	}
+}
+
+// TestHealthReadyDefaults: with no Ready source both probes answer 200.
+func TestHealthReadyDefaults(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(Options{}))
+	defer ts.Close()
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if code, _ := get(t, ts.URL+path); code != http.StatusOK {
+			t.Errorf("%s without Ready = %d, want 200", path, code)
+		}
+	}
+}
+
+// TestExtraMetrics: the hook appends exposition families after the
+// collector snapshot, and enables /metrics even without a collector.
+func TestExtraMetrics(t *testing.T) {
+	extra := func(w io.Writer) {
+		io.WriteString(w, "# HELP extra_total test.\n# TYPE extra_total counter\nextra_total 7\n")
+	}
+	ts := httptest.NewServer(NewHandler(Options{
+		Collector:    obs.NewCollector(),
+		ExtraMetrics: extra,
+	}))
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	samples := checkExposition(t, string(body))
+	if samples["extra_total"] != 7 {
+		t.Errorf("extra family missing: %g", samples["extra_total"])
+	}
+	if _, ok := samples["netags_sessions_total"]; !ok {
+		t.Errorf("collector families missing alongside extra")
+	}
+
+	// Extra metrics alone are enough to enable the endpoint.
+	ts2 := httptest.NewServer(NewHandler(Options{ExtraMetrics: extra}))
+	defer ts2.Close()
+	code, body = get(t, ts2.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics with only extras: status %d", code)
+	}
+	if samples := checkExposition(t, string(body)); samples["extra_total"] != 7 {
+		t.Errorf("extra-only metrics body wrong: %s", body)
+	}
+}
+
+// TestServerShutdown: graceful Shutdown stops the listener; nil-safe.
+func TestServerShutdown(t *testing.T) {
+	s, err := Start("127.0.0.1:0", Options{Collector: obs.NewCollector()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still serving after Shutdown")
+	}
+	var nilSrv *Server
+	if err := nilSrv.Shutdown(ctx); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"netags/internal/experiment"
+	"netags/internal/obs"
+)
+
+// BenchmarkServeSpecKey: the cost of content-addressing one submission
+// (normalize + canonical JSON + SHA-256). This sits on every POST /jobs,
+// so it must stay trivially cheap next to an actual sweep.
+func BenchmarkServeSpecKey(b *testing.B) {
+	spec := JobSpec{N: 10000, Trials: 5, RValues: []float64{2, 4, 6, 8, 10},
+		Protocols: []string{"TRP-CCM", "SICP", "GMLE-CCM"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Key(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeCacheGet: a hot-path cache hit under the manager's lock
+// discipline (LRU refresh included).
+func BenchmarkServeCacheGet(b *testing.B) {
+	c := NewCache(256)
+	payload := make([]byte, 4096)
+	for i := 0; i < 256; i++ {
+		c.Put(fmt.Sprintf("key-%03d", i), payload)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%03d", i%256)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkServeSubmitHit: the full Submit fast path on a warm cache —
+// key derivation plus the cached-result return. This is the latency a
+// duplicate submission pays instead of a sweep.
+func BenchmarkServeSubmitHit(b *testing.B) {
+	m := NewManager(Config{Workers: 1, run: func(ctx context.Context, s JobSpec, w int, o func(experiment.Progress), tr obs.Tracer) ([]byte, error) {
+		return []byte("{}\n"), nil
+	}})
+	defer m.Shutdown(context.Background())
+	spec := JobSpec{N: 10000, Trials: 5, RValues: []float64{2, 4, 6, 8, 10}}
+	st, _, err := m.Submit(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		cur, _ := m.Job(st.ID)
+		if cur.State.Terminal() {
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, outcome, err := m.Submit(spec, 0)
+		if err != nil || outcome != OutcomeCached {
+			b.Fatalf("submit = %v, %v", outcome, err)
+		}
+	}
+}

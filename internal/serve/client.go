@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a small helper over the jobs API — used by cmd/ccmserve's
+// tests and handy for driving a remote server programmatically. The zero
+// value is not usable; set BaseURL ("http://host:port").
+type Client struct {
+	// BaseURL is the server root, without a trailing slash.
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx reply from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+	// RetryAfter echoes the Retry-After header on 429 backpressure replies.
+	RetryAfter string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve client: status %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any, accept ...int) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, code := range accept {
+		if resp.StatusCode == code {
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(raw, out)
+		}
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	msg := string(raw)
+	if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+		msg = apiErr.Error
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg, RetryAfter: resp.Header.Get("Retry-After")}
+}
+
+// Submit posts a job and returns the server's {id, status} reply.
+func (c *Client) Submit(ctx context.Context, spec JobSpec, workers int) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/jobs", SubmitRequest{Spec: spec, Workers: workers}, &out,
+		http.StatusOK, http.StatusAccepted)
+	return out, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &out, http.StatusOK)
+	return out, err
+}
+
+// Jobs lists the server's retained job records.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/jobs", nil, &out, http.StatusOK)
+	return out.Jobs, err
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &out, http.StatusOK)
+	return out, err
+}
+
+// Result fetches a finished job's rendered result payload. While the job
+// is still queued or running it returns a nil payload with the current
+// status (HTTP 202) — poll or use Wait.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return raw, nil
+	case http.StatusAccepted:
+		return nil, nil
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	msg := string(raw)
+	if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+		msg = apiErr.Error
+	}
+	return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+// Wait polls the job until it reaches a terminal state (or ctx expires)
+// and returns the final status. poll <= 0 defaults to 50ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// The HTTP face of the serve layer. NewHandler mounts the jobs API beside
+// the PR 4 introspection endpoints (one mux, one port):
+//
+//	POST   /jobs              submit a sweep job → {id, status} where
+//	                          status ∈ cached | queued | running
+//	GET    /jobs              list retained job records
+//	GET    /jobs/{id}         one job's status, progress, and ETA
+//	GET    /jobs/{id}/result  the rendered result JSON (202 while pending)
+//	DELETE /jobs/{id}         cancel a queued or running job
+//
+// plus /metrics (collector snapshot + serve cache/queue counters),
+// /progress (live per-job tracker view), /events, /healthz, /readyz, and
+// /debug/pprof/ from internal/obs/httpserve. Backpressure: a full queue
+// answers 429 with a Retry-After header; a draining server answers 503.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"netags/internal/obs/httpserve"
+)
+
+// SubmitRequest is the POST /jobs body.
+type SubmitRequest struct {
+	// Spec is the job to run (see JobSpec for the cache-key contract).
+	Spec JobSpec `json:"spec"`
+	// Workers optionally caps the job's experiment worker budget. It is an
+	// execution knob, not part of the spec: it cannot change the result
+	// bytes and is excluded from the cache key. 0 means the server default;
+	// values above the server's per-job cap clamp to it.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SubmitResponse is the POST /jobs reply.
+type SubmitResponse struct {
+	ID     string        `json:"id"`
+	Status SubmitOutcome `json:"status"`
+	Job    JobStatus     `json:"job"`
+}
+
+// maxSpecBody bounds the POST body (a spec with full axes fits easily).
+const maxSpecBody = 1 << 20
+
+// NewHandler builds the combined mux: the jobs API plus the introspection
+// endpoints. Unset obsOpts fields are wired to the manager: Progress to the
+// live job view, Ready to Accepting, ExtraMetrics to the cache/queue
+// counters (chained after any caller-provided hook).
+func NewHandler(m *Manager, obsOpts httpserve.Options) http.Handler {
+	if obsOpts.Progress == nil {
+		obsOpts.Progress = m.ProgressJSON
+	}
+	if obsOpts.Ready == nil {
+		obsOpts.Ready = m.Accepting
+	}
+	if prev := obsOpts.ExtraMetrics; prev != nil {
+		obsOpts.ExtraMetrics = func(w io.Writer) { prev(w); m.WriteProm(w) }
+	} else {
+		obsOpts.ExtraMetrics = m.WriteProm
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", httpserve.NewHandler(obsOpts))
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		st, outcome, err := m.Submit(req.Spec, req.Workers)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(m)))
+			httpError(w, http.StatusTooManyRequests, err.Error())
+			return
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		code := http.StatusAccepted
+		if outcome == OutcomeCached {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, SubmitResponse{ID: st.ID, Status: outcome, Job: st})
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []JobStatus `json:"jobs"`
+		}{Jobs: m.Jobs()})
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		payload, st, ok := m.Result(r.PathValue("id"))
+		switch {
+		case !ok:
+			httpError(w, http.StatusNotFound, "unknown job")
+		case st.State == StateFailed:
+			httpError(w, http.StatusInternalServerError, "job failed: "+st.Error)
+		case st.State == StateCanceled:
+			httpError(w, http.StatusConflict, "job canceled")
+		case st.State != StateDone:
+			// Still queued or running: point the client back at the status.
+			writeJSON(w, http.StatusAccepted, st)
+		case payload == nil:
+			// Done but the payload was evicted from the cache: the content
+			// address still names it — resubmitting recomputes the same bytes.
+			httpError(w, http.StatusGone, "result evicted from cache; resubmit the spec")
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(payload)
+		}
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := m.Cancel(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	return mux
+}
+
+// retryAfterSeconds is the backpressure hint on a 429: one second per job
+// already waiting, floored at 1 — crude, but monotone in queue pressure.
+func retryAfterSeconds(m *Manager) int {
+	if n := m.Stats().QueueLen; n > 1 {
+		return n
+	}
+	return 1
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+	w.Write(append(b, '\n'))
+}

@@ -1,0 +1,602 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netags/internal/experiment"
+	"netags/internal/obs"
+)
+
+// Submission errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull: the bounded queue is at capacity — backpressure, the
+	// client should retry after Retry-After seconds (429).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining: the manager is shutting down and accepts no new work (503).
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// JobState is the lifecycle of a job record.
+type JobState string
+
+// The job lifecycle: Queued → Running → one of Done/Failed/Canceled.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Config parameterizes a Manager. The zero value is usable: every field
+// has a working default.
+type Config struct {
+	// QueueDepth bounds the jobs waiting for a worker (default 64). A full
+	// queue rejects submissions with ErrQueueFull.
+	QueueDepth int
+	// Workers is the pool size — how many jobs execute concurrently
+	// (default 2).
+	Workers int
+	// JobWorkers is the per-job experiment worker budget, the cap on
+	// goroutines one job's sweep may use (default GOMAXPROCS / Workers,
+	// minimum 1). Bounding it per job keeps one big sweep from starving
+	// the pool; results are bit-identical at any budget.
+	JobWorkers int
+	// CacheCapacity bounds the result cache in entries (default 256;
+	// negative = unbounded).
+	CacheCapacity int
+	// MaxJobs bounds retained job records; the oldest terminal records are
+	// pruned beyond it (default 1024). Pruned results remain served from
+	// the cache until evicted.
+	MaxJobs int
+	// Tracer, if non-nil, receives every protocol run's event stream (wire
+	// the server's obs.Collector/Ring here). Must be concurrency-safe.
+	Tracer obs.Tracer
+
+	// run overrides job execution in tests. nil means runSpec.
+	run func(ctx context.Context, spec JobSpec, workers int, observe func(experiment.Progress), tracer obs.Tracer) ([]byte, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = runtime.GOMAXPROCS(0) / c.Workers
+		if c.JobWorkers < 1 {
+			c.JobWorkers = 1
+		}
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.run == nil {
+		c.run = runSpec
+	}
+	return c
+}
+
+// Job is one submitted sweep: a spec, its content-addressed id, and the
+// execution state. All mutable fields are guarded by mu; done closes when
+// the job reaches a terminal state.
+type Job struct {
+	// ID is the spec's content address — the cache key. Identical specs
+	// share one job (the in-flight singleflight map).
+	ID   string
+	Spec JobSpec // normalized
+
+	workers int
+	tracker *experiment.Tracker
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu        sync.Mutex
+	state     JobState
+	err       string
+	dedup     int64
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// markRunning transitions Queued → Running; it reports false if the job is
+// already terminal (canceled while queued).
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state JobState, errMsg string) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.err = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the context either way
+	close(j.done)
+	return true
+}
+
+// JobStatus is the JSON view of a job served by GET /jobs and
+// GET /jobs/{id}.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Sweep string   `json:"sweep"`
+	// Cached marks a status synthesized for a cache hit with no live job
+	// record (the result predates this submission).
+	Cached bool `json:"cached,omitempty"`
+	// Deduplicated counts later submissions collapsed onto this execution.
+	Deduplicated int64  `json:"deduplicated,omitempty"`
+	Error        string `json:"error,omitempty"`
+	SubmittedAt  string `json:"submitted_at,omitempty"`
+	StartedAt    string `json:"started_at,omitempty"`
+	FinishedAt   string `json:"finished_at,omitempty"`
+	// Progress is the per-job tracker snapshot: completed/total work
+	// items, per-point timing, throughput, ETA.
+	Progress *experiment.TrackerSnapshot `json:"progress,omitempty"`
+}
+
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	st := JobStatus{
+		ID: j.ID, State: j.state, Sweep: j.Spec.Sweep,
+		Deduplicated: j.dedup, Error: j.err,
+		SubmittedAt: rfc3339(j.submitted),
+		StartedAt:   rfc3339(j.started),
+		FinishedAt:  rfc3339(j.finished),
+	}
+	j.mu.Unlock()
+	snap := j.tracker.Snapshot()
+	st.Progress = &snap
+	return st
+}
+
+// Manager owns the queue, the worker pool, the in-flight singleflight map,
+// and the result cache. Construct with NewManager, stop with Shutdown.
+type Manager struct {
+	cfg   Config
+	cache *Cache
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // every retained record, by id (= spec key)
+	inflight map[string]*Job // queued/running only — the singleflight map
+	order    []string        // submission order for GET /jobs
+	queue    chan *Job
+	draining bool
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+
+	executed atomic.Int64 // sweeps actually run to completion or failure
+	deduped  atomic.Int64 // submissions joined onto an in-flight job
+	rejected atomic.Int64 // queue-full rejections
+	running  atomic.Int64 // jobs currently executing
+}
+
+// NewManager starts cfg.Workers pool goroutines and returns the manager.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheCapacity),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Cache exposes the result cache (for /metrics wiring and tests).
+func (m *Manager) Cache() *Cache { return m.cache }
+
+// Accepting reports whether new submissions are admitted — the /readyz
+// source; it flips false at the start of a graceful drain.
+func (m *Manager) Accepting() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.draining
+}
+
+// SubmitOutcome tells a client what its POST did.
+type SubmitOutcome string
+
+// Submission outcomes: served from cache, newly queued, or joined onto an
+// already queued/running duplicate.
+const (
+	OutcomeCached  SubmitOutcome = "cached"
+	OutcomeQueued  SubmitOutcome = "queued"
+	OutcomeRunning SubmitOutcome = "running"
+)
+
+// Submit normalizes and validates the spec, then either serves it from the
+// cache (OutcomeCached), joins it onto an in-flight duplicate
+// (OutcomeQueued/OutcomeRunning, singleflight), or enqueues a new job.
+// workers caps the job's experiment worker budget (0 or anything above the
+// configured JobWorkers clamps to JobWorkers). Errors: validation errors,
+// ErrQueueFull (backpressure), ErrDraining (shutdown).
+func (m *Manager) Submit(spec JobSpec, workers int) (JobStatus, SubmitOutcome, error) {
+	norm := spec.Normalized()
+	if err := norm.Validate(); err != nil {
+		return JobStatus{}, "", err
+	}
+	key, err := norm.Key()
+	if err != nil {
+		return JobStatus{}, "", err
+	}
+	if workers <= 0 || workers > m.cfg.JobWorkers {
+		workers = m.cfg.JobWorkers
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Content-addressed fast path: the result already exists, byte-exact.
+	if _, ok := m.cache.Get(key); ok {
+		if j, ok := m.jobs[key]; ok {
+			return j.Status(), OutcomeCached, nil
+		}
+		return JobStatus{ID: key, State: StateDone, Sweep: norm.Sweep, Cached: true}, OutcomeCached, nil
+	}
+
+	// Singleflight: a queued or running duplicate absorbs this submission.
+	if j, ok := m.inflight[key]; ok {
+		m.deduped.Add(1)
+		j.mu.Lock()
+		j.dedup++
+		state := j.state
+		j.mu.Unlock()
+		out := OutcomeQueued
+		if state == StateRunning {
+			out = OutcomeRunning
+		}
+		return j.Status(), out, nil
+	}
+
+	if m.draining {
+		return JobStatus{}, "", ErrDraining
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID: key, Spec: norm, workers: workers,
+		tracker: experiment.NewTracker(),
+		ctx:     ctx, cancel: cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	j.tracker.SetTotal(norm.TotalItems())
+
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		m.rejected.Add(1)
+		return JobStatus{}, "", ErrQueueFull
+	}
+	if _, known := m.jobs[key]; !known {
+		m.order = append(m.order, key)
+	}
+	m.jobs[key] = j
+	m.inflight[key] = j
+	m.pruneLocked()
+	return j.Status(), OutcomeQueued, nil
+}
+
+// pruneLocked drops the oldest terminal job records beyond MaxJobs. Their
+// results stay available through the cache until LRU eviction.
+func (m *Manager) pruneLocked() {
+	if len(m.jobs) <= m.cfg.MaxJobs {
+		return
+	}
+	kept := m.order[:0]
+	excess := len(m.jobs) - m.cfg.MaxJobs
+	for _, id := range m.order {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		if excess > 0 && j.State().Terminal() {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// worker is one pool goroutine: it pops jobs until the queue closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job and settles its terminal state.
+func (m *Manager) runJob(j *Job) {
+	if j.ctx.Err() != nil || !j.markRunning() {
+		// Canceled while queued (DELETE or drain): settle and move on.
+		j.finish(StateCanceled, "canceled before execution")
+		m.settle(j)
+		return
+	}
+	m.running.Add(1)
+	payload, err := m.cfg.run(j.ctx, j.Spec, j.workers, j.tracker.Wrap(nil), m.cfg.Tracer)
+	m.running.Add(-1)
+	m.executed.Add(1)
+	switch {
+	case err == nil:
+		m.cache.Put(j.ID, payload)
+		j.finish(StateDone, "")
+	case j.ctx.Err() != nil:
+		j.finish(StateCanceled, fmt.Sprintf("canceled: %v", err))
+	default:
+		j.finish(StateFailed, err.Error())
+	}
+	m.settle(j)
+}
+
+// settle removes a terminal job from the singleflight map.
+func (m *Manager) settle(j *Job) {
+	m.mu.Lock()
+	if m.inflight[j.ID] == j {
+		delete(m.inflight, j.ID)
+	}
+	m.mu.Unlock()
+}
+
+// Job returns the record for id. When the record was pruned but the result
+// is still cached, a synthetic done status is returned.
+func (m *Manager) Job(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if ok {
+		return j.Status(), true
+	}
+	if _, ok := m.cache.Peek(id); ok {
+		return JobStatus{ID: id, State: StateDone, Cached: true}, true
+	}
+	return JobStatus{}, false
+}
+
+// Jobs lists every retained job record in submission order.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Result returns the rendered payload for id. ok is false when the job is
+// unknown; a known-but-unfinished or evicted-result job returns ok true
+// with a nil payload and its current status.
+func (m *Manager) Result(id string) ([]byte, JobStatus, bool) {
+	st, ok := m.Job(id)
+	if !ok {
+		return nil, JobStatus{}, false
+	}
+	if st.State != StateDone {
+		return nil, st, true
+	}
+	payload, _ := m.cache.Peek(id)
+	return payload, st, true
+}
+
+// Cancel cancels the job with the given id: a queued job settles
+// immediately, a running one has its context canceled and settles when the
+// sweep unwinds. Terminal jobs are left untouched.
+func (m *Manager) Cancel(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	if j.State() == StateQueued {
+		if j.finish(StateCanceled, "canceled by request") {
+			m.settle(j)
+		}
+		return j.Status(), true
+	}
+	j.cancel()
+	return j.Status(), true
+}
+
+// Shutdown drains the manager gracefully: new submissions are rejected
+// (Accepting flips false, /readyz answers 503), queued jobs are canceled,
+// and in-flight jobs get until ctx's deadline to complete before their
+// contexts are canceled. It blocks until the pool exits and is idempotent:
+// concurrent and repeated calls all wait for the one drain and return the
+// same error (the ctx error when the deadline forced cancellation).
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.closeOnce.Do(func() {
+		m.mu.Lock()
+		m.draining = true
+		// Reject everything still waiting for a worker. The records stay
+		// (clients polling GET /jobs/{id} see "canceled"), the channel
+		// entries are skipped by the workers.
+		for _, j := range m.inflight {
+			if j.State() == StateQueued {
+				j.finish(StateCanceled, "rejected: server shutting down")
+			}
+		}
+		close(m.queue)
+		m.mu.Unlock()
+
+		drained := make(chan struct{})
+		go func() {
+			m.wg.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			// Timeout: cancel in-flight jobs and wait for the unwind.
+			m.mu.Lock()
+			for _, j := range m.inflight {
+				j.cancel()
+			}
+			m.mu.Unlock()
+			<-drained
+			m.closeErr = ctx.Err()
+		}
+		// Settle singleflight bookkeeping for skipped queue entries.
+		m.mu.Lock()
+		for id, j := range m.inflight {
+			if j.State().Terminal() {
+				delete(m.inflight, id)
+			}
+		}
+		m.mu.Unlock()
+	})
+	return m.closeErr
+}
+
+// ManagerStats is a point-in-time view of the queue and pool counters.
+type ManagerStats struct {
+	Executed     int64 `json:"executed"`
+	Deduplicated int64 `json:"deduplicated"`
+	Rejected     int64 `json:"rejected"`
+	Running      int64 `json:"running"`
+	QueueLen     int   `json:"queue_len"`
+	QueueDepth   int   `json:"queue_depth"`
+	Jobs         int   `json:"jobs"`
+}
+
+// Stats snapshots the manager counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	jobs := len(m.jobs)
+	queueLen := len(m.queue)
+	m.mu.Unlock()
+	return ManagerStats{
+		Executed:     m.executed.Load(),
+		Deduplicated: m.deduped.Load(),
+		Rejected:     m.rejected.Load(),
+		Running:      m.running.Load(),
+		QueueLen:     queueLen,
+		QueueDepth:   m.cfg.QueueDepth,
+		Jobs:         jobs,
+	}
+}
+
+// WriteProm appends the cache and queue counters in Prometheus text
+// exposition format — wired into /metrics via httpserve's ExtraMetrics.
+func (m *Manager) WriteProm(w io.Writer) {
+	m.cache.WriteProm(w)
+	s := m.Stats()
+	promCounter(w, "netags_serve_jobs_executed_total", "Sweeps actually executed (cache misses that ran).", s.Executed)
+	promCounter(w, "netags_serve_jobs_deduplicated_total", "Submissions collapsed onto an in-flight duplicate (singleflight).", s.Deduplicated)
+	promCounter(w, "netags_serve_jobs_rejected_total", "Submissions rejected by queue backpressure.", s.Rejected)
+	promGauge(w, "netags_serve_jobs_running", "Jobs currently executing.", float64(s.Running))
+	promGauge(w, "netags_serve_queue_len", "Jobs waiting for a worker.", float64(s.QueueLen))
+	promGauge(w, "netags_serve_jobs_retained", "Job records retained.", float64(s.Jobs))
+}
+
+// ProgressJSON renders the live view of every non-terminal job — the
+// /progress source when the serve layer is mounted.
+func (m *Manager) ProgressJSON() ([]byte, error) {
+	m.mu.Lock()
+	live := make([]*Job, 0, len(m.inflight))
+	for _, id := range m.order {
+		if j, ok := m.inflight[id]; ok {
+			live = append(live, j)
+		}
+	}
+	m.mu.Unlock()
+	type jobProgress struct {
+		ID       string                      `json:"id"`
+		State    JobState                    `json:"state"`
+		Sweep    string                      `json:"sweep"`
+		Progress *experiment.TrackerSnapshot `json:"progress"`
+	}
+	out := struct {
+		Active bool          `json:"active"`
+		Jobs   []jobProgress `json:"jobs"`
+	}{Jobs: make([]jobProgress, 0, len(live))}
+	for _, j := range live {
+		snap := j.tracker.Snapshot()
+		st := j.State()
+		if st == StateRunning {
+			out.Active = true
+		}
+		out.Jobs = append(out.Jobs, jobProgress{ID: j.ID, State: st, Sweep: j.Spec.Sweep, Progress: &snap})
+	}
+	return appendNewlineJSON(out)
+}
+
+func appendNewlineJSON(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,203 @@
+// Result execution and rendering. runSpec is the single bridge from a
+// canonical JobSpec to the experiment package's sweeps, and the encoders
+// below render each sweep's results into deterministic JSON: fixed field
+// order, canonical protocol order, float64 formatting delegated to
+// encoding/json (which is itself deterministic). Byte-identical payloads
+// for equal specs are what make the content-addressed cache exact.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"netags/internal/experiment"
+	"netags/internal/obs"
+	"netags/internal/stats"
+)
+
+// sampleJSON is the JSON view of a stats.Sample summary.
+type sampleJSON struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+func sampleView(s *stats.Sample) sampleJSON {
+	return sampleJSON{N: s.N(), Mean: s.Mean(), StdDev: s.StdDev(), Min: s.Min(), Max: s.Max()}
+}
+
+// protoMetricsJSON is one protocol's aggregates at one range point.
+type protoMetricsJSON struct {
+	Protocol    string     `json:"protocol"`
+	Slots       sampleJSON `json:"slots"`
+	MaxSent     sampleJSON `json:"max_sent"`
+	MaxReceived sampleJSON `json:"max_received"`
+	AvgSent     sampleJSON `json:"avg_sent"`
+	AvgReceived sampleJSON `json:"avg_received"`
+}
+
+type rangeRowJSON struct {
+	R         float64            `json:"r"`
+	Tiers     sampleJSON         `json:"tiers"`
+	Protocols []protoMetricsJSON `json:"protocols"`
+}
+
+type densityRowJSON struct {
+	N         int        `json:"n"`
+	Tiers     sampleJSON `json:"tiers"`
+	SICPSlots sampleJSON `json:"sicp_slots"`
+	GMLESlots sampleJSON `json:"gmle_slots"`
+	TRPSlots  sampleJSON `json:"trp_slots"`
+}
+
+type lossRowJSON struct {
+	Loss           float64    `json:"loss"`
+	Delivery       sampleJSON `json:"delivery"`
+	FalsePositives sampleJSON `json:"false_positives"`
+	Rounds         sampleJSON `json:"rounds"`
+}
+
+// resultPayload is the JSON document served by GET /jobs/{id}/result and
+// stored in the cache. Exactly one row slice is populated, matching the
+// spec's sweep kind.
+type resultPayload struct {
+	// Key is the job's content address (also its job id).
+	Key string `json:"key"`
+	// Spec echoes the normalized spec the result was computed from.
+	Spec JobSpec `json:"spec"`
+	// Rows, one flavor per sweep kind.
+	RangeRows   []rangeRowJSON   `json:"range_rows,omitempty"`
+	DensityRows []densityRowJSON `json:"density_rows,omitempty"`
+	LossRows    []lossRowJSON    `json:"loss_rows,omitempty"`
+}
+
+// runSpec executes the normalized spec with the given worker budget and
+// returns the canonical result payload bytes. observe receives the sweep's
+// Progress events (the manager wires a per-job Tracker); tracer, if
+// non-nil, receives every protocol run's event stream (the server's
+// /metrics collector).
+func runSpec(ctx context.Context, spec JobSpec, workers int, observe func(experiment.Progress), tracer obs.Tracer) ([]byte, error) {
+	n := spec.Normalized()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	key, err := n.Key()
+	if err != nil {
+		return nil, err
+	}
+	base := experiment.BaseConfig{
+		N:       n.N,
+		Radius:  n.Radius,
+		Trials:  n.Trials,
+		Seed:    n.Seed,
+		Workers: workers,
+		Tracer:  tracer,
+	}
+	switch n.Sweep {
+	case SweepRange:
+		protos := make([]experiment.Protocol, len(n.Protocols))
+		for i, p := range n.Protocols {
+			protos[i] = experiment.Protocol(p)
+		}
+		res, err := experiment.RunContext(ctx, experiment.Config{
+			BaseConfig:             base,
+			RValues:                n.RValues,
+			GMLEFrame:              n.GMLEFrame,
+			TRPFrame:               n.TRPFrame,
+			Protocols:              protos,
+			ContentionWindow:       n.ContentionWindow,
+			DisableIndicatorVector: n.DisableIndicatorVector,
+		}, observe)
+		if err != nil {
+			return nil, err
+		}
+		return encodeRange(key, n, res)
+	case SweepDensity:
+		res, err := experiment.RunDensitySweepContext(ctx, experiment.DensityConfig{
+			BaseConfig: base,
+			NValues:    n.NValues,
+			R:          n.R,
+		}, observe)
+		if err != nil {
+			return nil, err
+		}
+		return encodeDensity(key, n, res)
+	case SweepLoss:
+		res, err := experiment.RunLossSweepContext(ctx, experiment.LossConfig{
+			BaseConfig: base,
+			R:          n.R,
+			LossValues: n.LossValues,
+			FrameSize:  n.FrameSize,
+		}, observe)
+		if err != nil {
+			return nil, err
+		}
+		return encodeLoss(key, n, res)
+	}
+	return nil, fmt.Errorf("serve: unknown sweep kind %q", n.Sweep)
+}
+
+// encodeRange renders range-sweep results; protocols appear in the
+// canonical order regardless of how the map iterates.
+func encodeRange(key string, spec JobSpec, res *experiment.Results) ([]byte, error) {
+	p := resultPayload{Key: key, Spec: spec}
+	for _, row := range res.Rows {
+		rj := rangeRowJSON{R: row.R, Tiers: sampleView(&row.Tiers)}
+		for _, proto := range protocolOrder {
+			m, ok := row.ByProtocol[proto]
+			if !ok {
+				continue
+			}
+			rj.Protocols = append(rj.Protocols, protoMetricsJSON{
+				Protocol:    string(proto),
+				Slots:       sampleView(&m.Slots),
+				MaxSent:     sampleView(&m.MaxSent),
+				MaxReceived: sampleView(&m.MaxReceived),
+				AvgSent:     sampleView(&m.AvgSent),
+				AvgReceived: sampleView(&m.AvgReceived),
+			})
+		}
+		p.RangeRows = append(p.RangeRows, rj)
+	}
+	return marshalPayload(p)
+}
+
+func encodeDensity(key string, spec JobSpec, res *experiment.DensityResults) ([]byte, error) {
+	p := resultPayload{Key: key, Spec: spec}
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		p.DensityRows = append(p.DensityRows, densityRowJSON{
+			N:         row.N,
+			Tiers:     sampleView(&row.Tiers),
+			SICPSlots: sampleView(&row.SICPSlots),
+			GMLESlots: sampleView(&row.GMLESlots),
+			TRPSlots:  sampleView(&row.TRPSlots),
+		})
+	}
+	return marshalPayload(p)
+}
+
+func encodeLoss(key string, spec JobSpec, res *experiment.LossResults) ([]byte, error) {
+	p := resultPayload{Key: key, Spec: spec}
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		p.LossRows = append(p.LossRows, lossRowJSON{
+			Loss:           row.Loss,
+			Delivery:       sampleView(&row.Delivery),
+			FalsePositives: sampleView(&row.FalsePositives),
+			Rounds:         sampleView(&row.Rounds),
+		})
+	}
+	return marshalPayload(p)
+}
+
+func marshalPayload(p resultPayload) ([]byte, error) {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"netags/internal/obs/httpserve"
+)
+
+// TestServerEndToEnd boots a real listener via StartServer and runs one
+// tiny job through the wire with the client helper.
+func TestServerEndToEnd(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	srv, err := StartServer("127.0.0.1:0", m, httpserve.Options{}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := &Client{BaseURL: "http://" + srv.Addr()}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sub, err := cl.Submit(ctx, JobSpec{N: 100, Trials: 1, RValues: []float64{6}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Wait(ctx, sub.ID, 5*time.Millisecond)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("wait = %+v, %v", st, err)
+	}
+	payload, err := cl.Result(ctx, sub.ID)
+	if err != nil || payload == nil {
+		t.Fatalf("result = %v, %v", payload, err)
+	}
+	if srv.Manager() != m {
+		t.Error("Manager() accessor broken")
+	}
+}
+
+// TestServerCloseIdempotentConcurrent: many goroutines racing Close all
+// return, agree on the result, and the listener is actually down after.
+func TestServerCloseIdempotentConcurrent(t *testing.T) {
+	m := NewManager(Config{Workers: 1, run: stubRun(nil, nil)})
+	srv, err := StartServer("127.0.0.1:0", m, httpserve.Options{}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	const callers = 8
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = srv.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != errs[0] {
+			t.Errorf("caller %d: %v differs from %v", i, err, errs[0])
+		}
+	}
+	if err := srv.Close(); err != errs[0] {
+		t.Errorf("late Close = %v, want %v", err, errs[0])
+	}
+	cl := http.Client{Timeout: time.Second}
+	if _, err := cl.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("listener still serving after Close")
+	}
+}
+
+// TestServerCloseDrainsInFlight: a running job completes before Close
+// returns when it fits inside the shutdown budget.
+func TestServerCloseDrainsInFlight(t *testing.T) {
+	gate := make(chan struct{})
+	m := NewManager(Config{Workers: 1, run: stubRun(nil, gate)})
+	srv, err := StartServer("127.0.0.1:0", m, httpserve.Options{}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := m.Submit(testSpec(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, st.ID)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(gate)
+	}()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if final, _ := m.Job(st.ID); final.State != StateDone {
+		t.Errorf("in-flight job after Close = %s, want done", final.State)
+	}
+}

@@ -1,0 +1,311 @@
+// Package serve is the simulation-as-a-service layer: it accepts sweep
+// jobs over HTTP, executes them on a bounded worker pool built on
+// experiment.RunSweep, and memoizes the rendered result JSON in a
+// content-addressed LRU cache.
+//
+// The whole design leans on the determinism pinned since PR 1: a job spec
+// fully determines its result bytes (seeds are position-derived, aggregation
+// is an ordered reduce, the JSON encoder is canonical), so the SHA-256 of
+// the spec's canonical serialization is a sound cache key — two semantically
+// equal specs hash identically, and a cache hit is byte-exact, not merely
+// statistically equivalent. An in-flight singleflight map extends the same
+// idea to time: duplicate concurrent submissions collapse onto one
+// execution and all of them read the same payload.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"netags/internal/experiment"
+	"netags/internal/gmle"
+	"netags/internal/trp"
+)
+
+// Spec size caps: a service accepting jobs from the network must bound the
+// computation a single POST can demand. These are generous for real studies
+// (the paper's full evaluation is 9 points × 100 trials at n = 10,000) while
+// keeping a hostile spec from parking the pool for hours.
+const (
+	// MaxPoints bounds the sweep axis length.
+	MaxPoints = 4096
+	// MaxTrials bounds trials per point.
+	MaxTrials = 100000
+	// MaxWorkItems bounds points × trials.
+	MaxWorkItems = 1 << 20
+	// MaxPopulation bounds the tag population per deployment.
+	MaxPopulation = 1 << 20
+)
+
+// Sweep kinds accepted by JobSpec.Sweep.
+const (
+	SweepRange   = "range"
+	SweepDensity = "density"
+	SweepLoss    = "loss"
+)
+
+// JobSpec is the canonical description of one sweep job. It mirrors the
+// experiment package's three sweep configs (range, density, loss) flattened
+// into a single JSON-friendly shape; the selected Sweep decides which axis
+// fields are read.
+//
+// The cache-key contract: Key() is the SHA-256 of the normalized spec's
+// canonical JSON, and the normalized spec contains exactly the fields the
+// computation reads. Fields the selected sweep ignores are cleared by
+// Normalize, defaults are materialized, and the range axis is sorted (range
+// results are order-independent: rows are sorted by r and per-point seeds
+// derive from the point value, not its index). Consequently specs that
+// differ only in JSON field order, explicit-zero versus omitted fields,
+// ignored fields, or range-axis order hash identically. Execution knobs that
+// cannot change the result — the per-job worker budget — are deliberately
+// not part of the spec (determinism at any worker count is pinned by the
+// experiment package's tests).
+type JobSpec struct {
+	// Sweep selects the sweep kind: "range" (default), "density", "loss".
+	Sweep string `json:"sweep,omitempty"`
+	// N is the tag population (range and loss sweeps; the density sweep
+	// ignores it in favor of NValues).
+	N int `json:"n,omitempty"`
+	// Radius is the deployment disk radius in meters (0 = the paper's 30).
+	Radius float64 `json:"radius,omitempty"`
+	// Trials is the number of independent deployments per sweep point.
+	Trials int `json:"trials,omitempty"`
+	// Seed is the sweep seed every trial's seeds derive from.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// RValues is the range sweep's axis of inter-tag ranges.
+	RValues []float64 `json:"r_values,omitempty"`
+	// Protocols selects what the range sweep runs (empty = the paper's
+	// SICP, GMLE-CCM, TRP-CCM). Order and duplicates are canonicalized away.
+	Protocols []string `json:"protocols,omitempty"`
+	// GMLEFrame / TRPFrame are the range sweep's application frame sizes
+	// (0 = the paper's defaults).
+	GMLEFrame int `json:"gmle_frame,omitempty"`
+	TRPFrame  int `json:"trp_frame,omitempty"`
+	// ContentionWindow forwards to SICP/CICP (0 = their default).
+	ContentionWindow int `json:"contention_window,omitempty"`
+	// DisableIndicatorVector runs the CCM protocols without §III-D
+	// silencing (the flooding ablation).
+	DisableIndicatorVector bool `json:"disable_indicator_vector,omitempty"`
+
+	// NValues is the density sweep's axis of populations.
+	NValues []int `json:"n_values,omitempty"`
+	// R is the inter-tag range of the density and loss sweeps.
+	R float64 `json:"r,omitempty"`
+
+	// LossValues is the loss sweep's axis of loss probabilities.
+	LossValues []float64 `json:"loss_values,omitempty"`
+	// FrameSize is the loss sweep's TRP frame (0 = derive per deployment).
+	FrameSize int `json:"frame_size,omitempty"`
+}
+
+// protocolOrder is the canonical protocol ordering used for normalization
+// and result rendering (matching the experiment package's render order).
+var protocolOrder = []experiment.Protocol{
+	experiment.SICP, experiment.CICP, experiment.GMLECCM, experiment.TRPCCM,
+}
+
+// Normalized returns the canonical form of the spec: defaults materialized,
+// ignored fields cleared, protocol set and range axis canonically ordered.
+// It does not validate; Key and Validate both start from this form.
+func (s JobSpec) Normalized() JobSpec {
+	n := s
+	if n.Sweep == "" {
+		n.Sweep = SweepRange
+	}
+	if n.Radius == 0 {
+		n.Radius = 30 // the paper's deployment disk
+	}
+	switch n.Sweep {
+	case SweepRange:
+		if len(n.Protocols) == 0 {
+			n.Protocols = []string{string(experiment.SICP), string(experiment.GMLECCM), string(experiment.TRPCCM)}
+		}
+		n.Protocols = canonicalProtocols(n.Protocols)
+		if n.GMLEFrame == 0 {
+			n.GMLEFrame = gmle.PaperFrameSize
+		}
+		if n.TRPFrame == 0 {
+			n.TRPFrame = trp.PaperFrameSize
+		}
+		// Range rows are sorted by r and seeds are position-derived from the
+		// point value, so axis order cannot change the result: sort it.
+		n.RValues = append([]float64(nil), n.RValues...)
+		sort.Float64s(n.RValues)
+		// Fields the range sweep never reads.
+		n.NValues, n.R, n.LossValues, n.FrameSize = nil, 0, nil, 0
+	case SweepDensity:
+		// The density sweep ignores N and every range/loss-only knob.
+		n.N = 0
+		n.RValues, n.Protocols = nil, nil
+		n.GMLEFrame, n.TRPFrame, n.ContentionWindow = 0, 0, 0
+		n.DisableIndicatorVector = false
+		n.LossValues, n.FrameSize = nil, 0
+		n.NValues = append([]int(nil), n.NValues...)
+	case SweepLoss:
+		n.RValues, n.Protocols = nil, nil
+		n.GMLEFrame, n.TRPFrame, n.ContentionWindow = 0, 0, 0
+		n.DisableIndicatorVector = false
+		n.NValues = nil
+		n.LossValues = append([]float64(nil), n.LossValues...)
+	}
+	return n
+}
+
+// canonicalProtocols dedupes and orders a protocol list into the canonical
+// render order. Unknown names sort last (alphabetically) so normalization
+// stays total; Validate rejects them afterwards.
+func canonicalProtocols(in []string) []string {
+	seen := map[string]bool{}
+	var known, unknown []string
+	for _, p := range in {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		found := false
+		for _, kp := range protocolOrder {
+			if p == string(kp) {
+				found = true
+				break
+			}
+		}
+		if found {
+			known = append(known, p)
+		} else {
+			unknown = append(unknown, p)
+		}
+	}
+	out := make([]string, 0, len(known)+len(unknown))
+	for _, kp := range protocolOrder {
+		for _, p := range known {
+			if p == string(kp) {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(unknown)
+	return append(out, unknown...)
+}
+
+// Validate checks the normalized spec. It reports the first problem found.
+func (s JobSpec) Validate() error {
+	n := s.Normalized()
+	if n.Trials <= 0 {
+		return fmt.Errorf("serve: trials must be positive, got %d", n.Trials)
+	}
+	if n.Trials > MaxTrials {
+		return fmt.Errorf("serve: trials %d exceeds cap %d", n.Trials, MaxTrials)
+	}
+	if n.Radius <= 0 {
+		return fmt.Errorf("serve: radius must be positive, got %g", n.Radius)
+	}
+	var points int
+	switch n.Sweep {
+	case SweepRange:
+		points = len(n.RValues)
+		if points == 0 {
+			return fmt.Errorf("serve: range sweep needs r_values")
+		}
+		for _, r := range n.RValues {
+			if !(r > 0) || r > 1e6 {
+				return fmt.Errorf("serve: inter-tag range %g out of range", r)
+			}
+		}
+		if n.N <= 0 || n.N > MaxPopulation {
+			return fmt.Errorf("serve: population n must be in [1, %d], got %d", MaxPopulation, n.N)
+		}
+		for _, p := range n.Protocols {
+			switch experiment.Protocol(p) {
+			case experiment.SICP, experiment.CICP, experiment.GMLECCM, experiment.TRPCCM:
+			default:
+				return fmt.Errorf("serve: unknown protocol %q", p)
+			}
+		}
+		if n.GMLEFrame <= 0 || n.TRPFrame <= 0 {
+			return fmt.Errorf("serve: frame sizes must be positive")
+		}
+		if n.ContentionWindow < 0 {
+			return fmt.Errorf("serve: contention window must be >= 0, got %d", n.ContentionWindow)
+		}
+	case SweepDensity:
+		points = len(n.NValues)
+		if points == 0 {
+			return fmt.Errorf("serve: density sweep needs n_values")
+		}
+		for _, v := range n.NValues {
+			if v <= 0 || v > MaxPopulation {
+				return fmt.Errorf("serve: population %d out of [1, %d]", v, MaxPopulation)
+			}
+		}
+		if !(n.R > 0) || n.R > 1e6 {
+			return fmt.Errorf("serve: inter-tag range %g out of range", n.R)
+		}
+	case SweepLoss:
+		points = len(n.LossValues)
+		if points == 0 {
+			return fmt.Errorf("serve: loss sweep needs loss_values")
+		}
+		for _, l := range n.LossValues {
+			if l < 0 || l >= 1 {
+				return fmt.Errorf("serve: loss probability %g outside [0,1)", l)
+			}
+		}
+		if n.N <= 0 || n.N > MaxPopulation {
+			return fmt.Errorf("serve: population n must be in [1, %d], got %d", MaxPopulation, n.N)
+		}
+		if !(n.R > 0) || n.R > 1e6 {
+			return fmt.Errorf("serve: inter-tag range %g out of range", n.R)
+		}
+		if n.FrameSize < 0 {
+			return fmt.Errorf("serve: frame size must be >= 0, got %d", n.FrameSize)
+		}
+	default:
+		return fmt.Errorf("serve: unknown sweep kind %q", n.Sweep)
+	}
+	if points > MaxPoints {
+		return fmt.Errorf("serve: %d sweep points exceed cap %d", points, MaxPoints)
+	}
+	if items := points * n.Trials; items > MaxWorkItems {
+		return fmt.Errorf("serve: %d work items exceed cap %d", items, MaxWorkItems)
+	}
+	return nil
+}
+
+// TotalItems returns the job's work-item count (points × trials) on the
+// normalized spec — the tracker's denominator.
+func (s JobSpec) TotalItems() int {
+	n := s.Normalized()
+	points := 0
+	switch n.Sweep {
+	case SweepRange:
+		points = len(n.RValues)
+	case SweepDensity:
+		points = len(n.NValues)
+	case SweepLoss:
+		points = len(n.LossValues)
+	}
+	return points * n.Trials
+}
+
+// CanonicalJSON renders the normalized spec in its stable serialization:
+// encoding/json over a fixed struct (declaration-order fields, omitempty on
+// everything optional), which is deterministic byte-for-byte.
+func (s JobSpec) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(s.Normalized())
+}
+
+// Key returns the content address of the spec: the hex SHA-256 of its
+// canonical JSON. It does not validate — call Validate before trusting a
+// key to be executable.
+func (s JobSpec) Key() (string, error) {
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
