@@ -1,15 +1,27 @@
-# Tier-1 verification: build, vet, full test suite (property harness and
-# examples included), and the concurrency-bearing packages plus the CCM core
-# and property suites under the race detector (see ROADMAP.md). Set FUZZ=1
-# to also smoke the native fuzz targets (see fuzz-smoke).
+# Tier-1 verification: build, vet, staticcheck (when installed; CI installs
+# it, local runs without it just print a notice), full test suite (property
+# harness and examples included), and the concurrency-bearing packages plus
+# the CCM core and property suites under the race detector (see ROADMAP.md).
+# Set FUZZ=1 to also smoke the native fuzz targets (see fuzz-smoke).
 verify:
 	go build ./...
 	go vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "verify: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 	go test ./...
 	go test -race ./internal/core/... ./internal/obs/... ./internal/simtest/... ./internal/experiment/... ./internal/serve/...
 ifeq ($(FUZZ),1)
 	$(MAKE) fuzz-smoke
 endif
+
+# End-to-end crash-resume smoke against a real ccmserve process: submit a
+# sweep, kill -9 at ~50% of its points, restart on the same checkpoint dir,
+# and assert the resumed result is byte-identical to an uninterrupted run.
+serve-e2e:
+	./scripts/serve_e2e.sh
 
 # Short coverage-guided runs of every native fuzz target, one at a time (the
 # go tool accepts a single -fuzz pattern per package invocation). The
@@ -55,4 +67,4 @@ bench-compare:
 			-baseline BENCH_observability.json \
 			-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
-.PHONY: verify fuzz-smoke bench bench-sweep bench-compare
+.PHONY: verify serve-e2e fuzz-smoke bench bench-sweep bench-compare

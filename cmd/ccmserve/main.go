@@ -1,12 +1,18 @@
-// Command ccmserve runs the simulation-as-a-service daemon: a job queue,
-// worker pool, and content-addressed result cache over the experiment
-// sweeps, exposed as a small HTTP API beside the live introspection
-// endpoints (see internal/serve).
+// Command ccmserve runs the simulation-as-a-service daemon: a
+// priority-aware job queue, worker pool, per-point checkpoint store, and
+// content-addressed result cache over the experiment sweeps, exposed as a
+// versioned HTTP API (/api/v1, with unversioned aliases) beside the live
+// introspection endpoints (see internal/serve).
 //
 // Example:
 //
-//	ccmserve -addr :8080 -pool 2 -queue 64 -cache 256
-//	curl -s localhost:8080/jobs -d '{"spec":{"n":10000,"trials":5,"r_values":[2,4,6,8,10]}}'
+//	ccmserve -addr :8080 -pool 2 -queue 64 -cache 256 -checkpoint-dir /var/lib/ccmserve
+//	curl -s localhost:8080/api/v1/jobs -d '{"spec":{"n":10000,"trials":5,"r_values":[2,4,6,8,10]}}'
+//	curl -sN localhost:8080/api/v1/jobs/<id>/stream   # NDJSON per-point tail
+//
+// With -checkpoint-dir set, a killed daemon resumes half-finished sweeps:
+// resubmitting the same spec after a restart recomputes only the points the
+// checkpoint is missing and still produces byte-identical results.
 package main
 
 import (
@@ -40,6 +46,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		jobWorkers = fs.Int("job-workers", 0, "per-job experiment worker cap (0 = cores/pool)")
 		cacheCap   = fs.Int("cache", 256, "result cache capacity in entries (LRU; negative = unbounded)")
 		maxJobs    = fs.Int("max-jobs", 1024, "terminal job records to retain for GET /jobs")
+		ckptDir    = fs.String("checkpoint-dir", "", "persist per-point checkpoints here for crash-resumable sweeps (empty = memory only)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight jobs")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +59,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		JobWorkers:    *jobWorkers,
 		CacheCapacity: *cacheCap,
 		MaxJobs:       *maxJobs,
+		CheckpointDir: *ckptDir,
 	})
 	srv, err := serve.StartServer(*addr, m, httpserve.Options{}, *drain)
 	if err != nil {

@@ -43,7 +43,7 @@ func TestServeEndToEnd(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sub, err := cl.Submit(callCtx, spec, 1)
+			sub, err := cl.Submit(callCtx, spec, serve.SubmitOptions{Workers: 1})
 			if err != nil {
 				t.Errorf("submit %d: %v", i, err)
 				return
@@ -71,7 +71,7 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 
 	// Resubmission after completion is a pure cache hit.
-	again, err := cl.Submit(callCtx, spec, 1)
+	again, err := cl.Submit(callCtx, spec, serve.SubmitOptions{Workers: 1})
 	if err != nil || again.Status != serve.OutcomeCached || again.ID != subs[0].ID {
 		t.Fatalf("resubmit = %+v, %v, want cached hit on %s", again, err, subs[0].ID)
 	}

@@ -71,6 +71,14 @@ func RunDensitySweep(cfg DensityConfig) (*DensityResults, error) {
 // goroutines. Frame sizes are re-derived per n, exactly as the paper sizes
 // its frames for n = 10,000.
 func RunDensitySweepContext(ctx context.Context, cfg DensityConfig, observe func(Progress)) (*DensityResults, error) {
+	return RunDensitySweepPartial(ctx, cfg, nil, nil, observe)
+}
+
+// RunDensitySweepPartial is RunDensitySweepContext with resume support —
+// the same contract as RunContextPartial: skipped points come back as
+// zero-valued rows (only N set) and pointDone fires once per computed
+// point with its fully aggregated DensityRow.
+func RunDensitySweepPartial(ctx context.Context, cfg DensityConfig, skip []bool, pointDone func(PointInfo, DensityRow), observe func(Progress)) (*DensityResults, error) {
 	if err := cfg.validate(false); err != nil {
 		return nil, err
 	}
@@ -97,9 +105,10 @@ func RunDensitySweepContext(ctx context.Context, cfg DensityConfig, observe func
 		points[i] = densityPoint{n: n, gmleF: gmleF, trpF: trpF}
 	}
 
-	grid, err := RunSweep(ctx, Sweep[densityPoint, densityTrial]{
+	sweep := Sweep[densityPoint, densityTrial]{
 		Base:   cfg.BaseConfig,
 		Points: points,
+		Skip:   skip,
 		Key:    func(p densityPoint) uint64 { return IntKey(p.n) },
 		Run: func(ctx context.Context, p densityPoint, trial int, seeds TrialSeeds) (densityTrial, error) {
 			d := geom.NewUniformDisk(p.n, cfg.Radius, seeds.Deploy)
@@ -127,23 +136,39 @@ func RunDensitySweepContext(ctx context.Context, cfg DensityConfig, observe func
 				Protocols: []Protocol{GMLECCM, TRPCCM, SICP}, Tiers: dt.tiers, Elapsed: elapsed,
 			}
 		},
-	}, observe)
+	}
+	if pointDone != nil {
+		sweep.PointDone = func(p SweepPoint[densityPoint, densityTrial]) {
+			pointDone(PointInfo{Index: p.Index, Seeds: p.Seeds, Elapsed: p.Elapsed},
+				buildDensityRow(p.Point.n, p.Trials))
+		}
+	}
+	grid, err := RunSweep(ctx, sweep, observe)
 	if err != nil {
 		return nil, err
 	}
 
 	res := &DensityResults{Config: cfg}
 	for pi, p := range points {
-		row := DensityRow{N: p.n}
-		for _, dt := range grid[pi] {
-			row.Tiers.Add(float64(dt.tiers))
-			row.GMLESlots.Add(float64(dt.gmle))
-			row.TRPSlots.Add(float64(dt.trp))
-			row.SICPSlots.Add(float64(dt.sicp))
+		if skip != nil && skip[pi] {
+			res.Rows = append(res.Rows, DensityRow{N: p.n})
+			continue
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, buildDensityRow(p.n, grid[pi]))
 	}
 	return res, nil
+}
+
+// buildDensityRow folds one population's trials into its DensityRow.
+func buildDensityRow(n int, trials []densityTrial) DensityRow {
+	row := DensityRow{N: n}
+	for _, dt := range trials {
+		row.Tiers.Add(float64(dt.tiers))
+		row.GMLESlots.Add(float64(dt.gmle))
+		row.TRPSlots.Add(float64(dt.trp))
+		row.SICPSlots.Add(float64(dt.sicp))
+	}
+	return row
 }
 
 // runProtocolSized runs one protocol with explicit frame parameters and

@@ -138,11 +138,32 @@ type protoObs struct {
 	avgSent, avgReceived float64
 }
 
+// PointInfo identifies one completed sweep point for the per-point hooks
+// of the Partial runners: its grid index, the position-derived seeds each
+// trial ran with, and the summed wall time of the point's work items.
+type PointInfo struct {
+	Index   int
+	Seeds   []TrialSeeds
+	Elapsed time.Duration
+}
+
 // RunContext executes the sweep, fanning the (r, trial) grid out over
 // cfg.Workers goroutines (0 = GOMAXPROCS). Results are bit-identical for
 // every worker count. observe, if non-nil, receives one Progress event per
 // completed trial, serialized but in completion order.
 func RunContext(ctx context.Context, cfg Config, observe func(Progress)) (*Results, error) {
+	return RunContextPartial(ctx, cfg, nil, nil, observe)
+}
+
+// RunContextPartial is RunContext with resume support: points whose
+// skip[i] is true are not run (their Rows come back with a nil ByProtocol
+// map — the caller is expected to already hold their results), and
+// pointDone, if non-nil, fires once per computed point, as soon as its
+// last trial lands, with the point's fully aggregated Row. Because seeds
+// are position-derived and per-point aggregation reads only that point's
+// trials, a Row delivered through pointDone is bit-identical to the same
+// Row of an uninterrupted run — the contract checkpoint/resume builds on.
+func RunContextPartial(ctx context.Context, cfg Config, skip []bool, pointDone func(PointInfo, Row), observe func(Progress)) (*Results, error) {
 	if err := cfg.validate(true); err != nil {
 		return nil, err
 	}
@@ -164,10 +185,11 @@ func RunContext(ctx context.Context, cfg Config, observe func(Progress)) (*Resul
 		}
 	}
 
-	grid, err := RunSweep(ctx, Sweep[float64, rangeTrial]{
+	sweep := Sweep[float64, rangeTrial]{
 		Base:   cfg.BaseConfig,
 		Points: cfg.RValues,
 		Key:    FloatKey,
+		Skip:   skip,
 		Run: func(ctx context.Context, r float64, trial int, seeds TrialSeeds) (rangeTrial, error) {
 			d := geom.NewUniformDisk(cfg.N, cfg.Radius, seeds.Deploy)
 			nw, err := topology.Build(d, 0, topology.PaperRanges(r))
@@ -198,32 +220,50 @@ func RunContext(ctx context.Context, cfg Config, observe func(Progress)) (*Resul
 				Protocols: protocols, Tiers: tr.tiers, Elapsed: elapsed,
 			}
 		},
-	}, observe)
+	}
+	if pointDone != nil {
+		sweep.PointDone = func(p SweepPoint[float64, rangeTrial]) {
+			pointDone(PointInfo{Index: p.Index, Seeds: p.Seeds, Elapsed: p.Elapsed},
+				buildRangeRow(p.Point, protocols, p.Trials))
+		}
+	}
+	grid, err := RunSweep(ctx, sweep, observe)
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Results{Config: cfg}
 	for pi, r := range cfg.RValues {
-		row := Row{R: r, ByProtocol: make(map[Protocol]*Metrics, len(protocols))}
-		for _, p := range protocols {
-			row.ByProtocol[p] = &Metrics{}
+		if skip != nil && skip[pi] {
+			res.Rows = append(res.Rows, Row{R: r})
+			continue
 		}
-		for _, tr := range grid[pi] {
-			row.Tiers.Add(float64(tr.tiers))
-			for i, p := range protocols {
-				o, m := tr.protos[i], row.ByProtocol[p]
-				m.Slots.Add(float64(o.slots))
-				m.MaxSent.Add(float64(o.maxSent))
-				m.MaxReceived.Add(float64(o.maxReceived))
-				m.AvgSent.Add(o.avgSent)
-				m.AvgReceived.Add(o.avgReceived)
-			}
-		}
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, buildRangeRow(r, protocols, grid[pi]))
 	}
 	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].R < res.Rows[j].R })
 	return res, nil
+}
+
+// buildRangeRow folds one point's trials (in trial order) into its Row.
+// It reads nothing outside the point, so the Row is a pure function of
+// (point, trials) — per-point results are content-addressable.
+func buildRangeRow(r float64, protocols []Protocol, trials []rangeTrial) Row {
+	row := Row{R: r, ByProtocol: make(map[Protocol]*Metrics, len(protocols))}
+	for _, p := range protocols {
+		row.ByProtocol[p] = &Metrics{}
+	}
+	for _, tr := range trials {
+		row.Tiers.Add(float64(tr.tiers))
+		for i, p := range protocols {
+			o, m := tr.protos[i], row.ByProtocol[p]
+			m.Slots.Add(float64(o.slots))
+			m.MaxSent.Add(float64(o.maxSent))
+			m.MaxReceived.Add(float64(o.maxReceived))
+			m.AvgSent.Add(o.avgSent)
+			m.AvgReceived.Add(o.avgReceived)
+		}
+	}
+	return row
 }
 
 func runProtocol(p Protocol, nw *topology.Network, cfg Config, seed uint64) (energy.Clock, *energy.Meter, error) {

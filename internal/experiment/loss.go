@@ -72,6 +72,14 @@ func RunLossSweep(cfg LossConfig) (*LossResults, error) {
 // goroutines. The channel's coin flips draw from the trial's Aux seed
 // stream, so every worker count observes the same losses.
 func RunLossSweepContext(ctx context.Context, cfg LossConfig, observe func(Progress)) (*LossResults, error) {
+	return RunLossSweepPartial(ctx, cfg, nil, nil, observe)
+}
+
+// RunLossSweepPartial is RunLossSweepContext with resume support — the
+// same contract as RunContextPartial: skipped points come back as
+// zero-valued rows (only Loss set) and pointDone fires once per computed
+// point with its fully aggregated LossRow.
+func RunLossSweepPartial(ctx context.Context, cfg LossConfig, skip []bool, pointDone func(PointInfo, LossRow), observe func(Progress)) (*LossResults, error) {
 	if err := cfg.validate(true); err != nil {
 		return nil, err
 	}
@@ -84,9 +92,10 @@ func RunLossSweepContext(ctx context.Context, cfg LossConfig, observe func(Progr
 		}
 	}
 
-	grid, err := RunSweep(ctx, Sweep[float64, lossTrial]{
+	sweep := Sweep[float64, lossTrial]{
 		Base:   cfg.BaseConfig,
 		Points: cfg.LossValues,
+		Skip:   skip,
 		Key:    FloatKey,
 		Run: func(ctx context.Context, loss float64, trial int, seeds TrialSeeds) (lossTrial, error) {
 			d := geom.NewUniformDisk(cfg.N, cfg.Radius, seeds.Deploy)
@@ -152,24 +161,40 @@ func RunLossSweepContext(ctx context.Context, cfg LossConfig, observe func(Progr
 				Protocols: []Protocol{TRPCCM}, Tiers: lt.tiers, Elapsed: elapsed,
 			}
 		},
-	}, observe)
+	}
+	if pointDone != nil {
+		sweep.PointDone = func(p SweepPoint[float64, lossTrial]) {
+			pointDone(PointInfo{Index: p.Index, Seeds: p.Seeds, Elapsed: p.Elapsed},
+				buildLossRow(p.Point, p.Trials))
+		}
+	}
+	grid, err := RunSweep(ctx, sweep, observe)
 	if err != nil {
 		return nil, err
 	}
 
 	res := &LossResults{Config: cfg}
 	for pi, loss := range cfg.LossValues {
-		row := LossRow{Loss: loss}
-		for _, lt := range grid[pi] {
-			if lt.hasDelivery {
-				row.Delivery.Add(lt.delivery)
-			}
-			row.FalsePositives.Add(lt.falsePos)
-			row.Rounds.Add(lt.rounds)
+		if skip != nil && skip[pi] {
+			res.Rows = append(res.Rows, LossRow{Loss: loss})
+			continue
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, buildLossRow(loss, grid[pi]))
 	}
 	return res, nil
+}
+
+// buildLossRow folds one loss probability's trials into its LossRow.
+func buildLossRow(loss float64, trials []lossTrial) LossRow {
+	row := LossRow{Loss: loss}
+	for _, lt := range trials {
+		if lt.hasDelivery {
+			row.Delivery.Add(lt.delivery)
+		}
+		row.FalsePositives.Add(lt.falsePos)
+		row.Rounds.Add(lt.rounds)
+	}
+	return row
 }
 
 // Render prints the sweep as a table.

@@ -223,6 +223,38 @@ type Sweep[P, T any] struct {
 	// Event, if non-nil, describes a completed work item as a Progress
 	// event for the observer passed to RunSweep.
 	Event func(point P, trial int, result T, elapsed time.Duration) Progress
+	// Skip, if non-nil, marks points whose work items must not run — the
+	// resume path. Skip[i] true leaves results[i] zero-valued, emits no
+	// Progress events for the point, and never invokes PointDone on it.
+	// Because seeds are position-derived, skipping points cannot change
+	// what any other point computes.
+	Skip []bool
+	// PointDone, if non-nil, is invoked exactly once per computed point,
+	// when the point's last trial lands. Calls are serialized (under the
+	// same lock as the observer) but arrive in completion order, which
+	// under parallelism is not grid order.
+	PointDone func(p SweepPoint[P, T])
+}
+
+// SweepPoint is one completed grid point, delivered to Sweep.PointDone:
+// the point's coordinates, its trial results in trial order, the
+// position-derived seeds each trial ran with, and the summed wall time of
+// the point's work items.
+type SweepPoint[P, T any] struct {
+	// Index is the point's position in Sweep.Points.
+	Index int
+	// Point is the sweep coordinate.
+	Point P
+	// Trials holds the point's results, indexed by trial.
+	Trials []T
+	// Seeds[t] are the seeds trial t ran with (re-derivable via SeedsFor;
+	// carried here so checkpoints can record them without replaying the
+	// derivation).
+	Seeds []TrialSeeds
+	// Elapsed is the sum of the point's per-item wall times — the compute
+	// cost of the point, not the wall-clock span (which under parallelism
+	// interleaves with other points).
+	Elapsed time.Duration
 }
 
 // RunSweep executes every (point, trial) work item of s over a worker pool
@@ -231,13 +263,18 @@ type Sweep[P, T any] struct {
 // worker count, including 1 (the sequential path). observe, if non-nil,
 // receives one Progress event per completed work item; events are
 // serialized but arrive in completion order, which under parallelism is not
-// grid order. The first error (or ctx cancellation) stops the sweep.
+// grid order. Points marked in s.Skip are not run (their result rows stay
+// zero-valued) and do not count toward the Progress totals. The first
+// error (or ctx cancellation) stops the sweep.
 func RunSweep[P, T any](ctx context.Context, s Sweep[P, T], observe func(Progress)) ([][]T, error) {
 	if len(s.Points) == 0 {
 		return nil, fmt.Errorf("experiment: sweep has no points")
 	}
 	if s.Run == nil || s.Key == nil {
 		return nil, fmt.Errorf("experiment: sweep needs Run and Key")
+	}
+	if s.Skip != nil && len(s.Skip) != len(s.Points) {
+		return nil, fmt.Errorf("experiment: skip vector has %d entries for %d points", len(s.Skip), len(s.Points))
 	}
 	if err := s.Base.validate(false); err != nil {
 		return nil, err
@@ -247,13 +284,36 @@ func RunSweep[P, T any](ctx context.Context, s Sweep[P, T], observe func(Progres
 	for i := range results {
 		results[i] = make([]T, trials)
 	}
+	// active maps a dense work-item index onto the point indices left to
+	// run once skipped points are removed.
+	active := make([]int, 0, len(s.Points))
+	for pi := range s.Points {
+		if s.Skip == nil || !s.Skip[pi] {
+			active = append(active, pi)
+		}
+	}
+	if len(active) == 0 {
+		return results, nil
+	}
 	var (
-		mu        sync.Mutex // serializes observe and the completion count
+		mu        sync.Mutex // serializes observe/PointDone and the completion count
 		completed int
 	)
+	// Per-point accounting for PointDone: outstanding trials and the summed
+	// item wall time. The atomic decrement orders each trial's result write
+	// before the final decrementer's reads.
+	var remaining []atomic.Int64
+	var pointNanos []atomic.Int64
+	if s.PointDone != nil {
+		remaining = make([]atomic.Int64, len(s.Points))
+		pointNanos = make([]atomic.Int64, len(s.Points))
+		for _, pi := range active {
+			remaining[pi].Store(int64(trials))
+		}
+	}
 	sweepStart := time.Now()
 	item := func(ctx context.Context, idx int) error {
-		pi, trial := idx/trials, idx%trials
+		pi, trial := active[idx/trials], idx%trials
 		point := s.Points[pi]
 		start := time.Now()
 		out, err := s.Run(ctx, point, trial, SeedsFor(s.Base.Seed, s.Key(point), trial))
@@ -261,21 +321,38 @@ func RunSweep[P, T any](ctx context.Context, s Sweep[P, T], observe func(Progres
 			return err
 		}
 		results[pi][trial] = out
+		elapsed := time.Since(start)
 		if observe != nil && s.Event != nil {
-			ev := s.Event(point, trial, out, time.Since(start))
+			ev := s.Event(point, trial, out, elapsed)
 			mu.Lock()
 			// Stamp the sweep-wide view under the same lock that serializes
 			// observe, so Completed is monotonic in delivery order.
 			completed++
 			ev.Completed = completed
-			ev.Total = len(s.Points) * trials
+			ev.Total = len(active) * trials
 			ev.SweepElapsed = time.Since(sweepStart)
 			observe(ev)
 			mu.Unlock()
 		}
+		if s.PointDone != nil {
+			pointNanos[pi].Add(int64(elapsed))
+			if remaining[pi].Add(-1) == 0 {
+				seeds := make([]TrialSeeds, trials)
+				for t := range seeds {
+					seeds[t] = SeedsFor(s.Base.Seed, s.Key(point), t)
+				}
+				sp := SweepPoint[P, T]{
+					Index: pi, Point: point, Trials: results[pi],
+					Seeds: seeds, Elapsed: time.Duration(pointNanos[pi].Load()),
+				}
+				mu.Lock()
+				s.PointDone(sp)
+				mu.Unlock()
+			}
+		}
 		return nil
 	}
-	if err := ParallelFor(ctx, s.Base.workers(), len(s.Points)*trials, item); err != nil {
+	if err := ParallelFor(ctx, s.Base.workers(), len(active)*trials, item); err != nil {
 		return nil, err
 	}
 	return results, nil

@@ -4,9 +4,6 @@ import (
 	"context"
 	"fmt"
 	"testing"
-
-	"netags/internal/experiment"
-	"netags/internal/obs"
 )
 
 // BenchmarkServeSpecKey: the cost of content-addressing one submission
@@ -44,12 +41,13 @@ func BenchmarkServeCacheGet(b *testing.B) {
 // key derivation plus the cached-result return. This is the latency a
 // duplicate submission pays instead of a sweep.
 func BenchmarkServeSubmitHit(b *testing.B) {
-	m := NewManager(Config{Workers: 1, run: func(ctx context.Context, s JobSpec, w int, o func(experiment.Progress), tr obs.Tracer) ([]byte, error) {
-		return []byte("{}\n"), nil
+	m := NewManager(Config{Workers: 1, run: func(ctx context.Context, s JobSpec, w int, h runHooks) error {
+		emitStubPoints(s, h)
+		return nil
 	}})
 	defer m.Shutdown(context.Background())
 	spec := JobSpec{N: 10000, Trials: 5, RValues: []float64{2, 4, 6, 8, 10}}
-	st, _, err := m.Submit(spec, 0)
+	st, _, err := m.Submit(spec, SubmitOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -62,7 +60,7 @@ func BenchmarkServeSubmitHit(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, outcome, err := m.Submit(spec, 0)
+		_, outcome, err := m.Submit(spec, SubmitOptions{})
 		if err != nil || outcome != OutcomeCached {
 			b.Fatalf("submit = %v, %v", outcome, err)
 		}

@@ -1,0 +1,343 @@
+// Per-point checkpointing. As a sweep runs, every completed grid point is
+// appended to its job's checkpoint — in memory always, and as one NDJSON
+// line per point under CheckpointDir when configured. The checkpoint is
+// keyed by (job key, point index): the job key is the spec's content
+// address and a point's Row is a pure function of (normalized spec, point
+// index), so a checkpointed row can be trusted across process restarts —
+// resuming a half-finished sweep recomputes nothing and still produces the
+// byte-identical final payload.
+//
+// Lifecycle: entries accumulate while a job runs and are the replay source
+// for /api/v1/jobs/{id}/stream (seq numbers are per-job completion order).
+// When a job completes its disk file is deleted (the full result now lives
+// in the content-addressed cache); a killed or canceled job keeps its file,
+// and the next submission of the same spec restores it and skips the
+// completed points. Forget drops everything (job-record pruning).
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// PointRecord is one completed sweep point: checkpoint line, stream event
+// payload, and resume unit all at once.
+type PointRecord struct {
+	// Seq is the 1-based per-job completion order — the stream resume
+	// cursor (Last-Event-ID).
+	Seq int `json:"seq"`
+	// Index is the point's position on the normalized sweep axis; together
+	// with the job key it addresses the record.
+	Index int `json:"index"`
+	// Label is the point's coordinate ("r=6", "n=5000", "loss=0.2").
+	Label string `json:"label"`
+	// ElapsedMS is the summed wall time of the point's work items.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Row is the point's rendered result row, exactly the bytes that will
+	// appear in the final payload's row array.
+	Row json.RawMessage `json:"row"`
+}
+
+// jobCheckpoint is one job's in-memory checkpoint plus its stream fan-out.
+type jobCheckpoint struct {
+	records []PointRecord // completion order; records[i].Seq == i+1
+	have    map[int]bool  // point indices present
+	file    *os.File      // open append handle (nil when memory-only)
+	subs    map[int]chan PointRecord
+	nextSub int
+}
+
+// Checkpoints is the store: one jobCheckpoint per job key, optionally
+// mirrored to dir as <key>.ndjson. The zero value is not usable; construct
+// with NewCheckpoints. Disk writes are best-effort: a failing filesystem
+// degrades to memory-only checkpointing (counted in DiskErrors), it never
+// fails the sweep.
+type Checkpoints struct {
+	dir string
+
+	mu   sync.Mutex
+	jobs map[string]*jobCheckpoint
+
+	diskErrors atomic.Int64
+}
+
+// NewCheckpoints returns a store persisting under dir ("" = memory only).
+func NewCheckpoints(dir string) *Checkpoints {
+	return &Checkpoints{dir: dir, jobs: make(map[string]*jobCheckpoint)}
+}
+
+func (c *Checkpoints) path(key string) string {
+	return filepath.Join(c.dir, key+".ndjson")
+}
+
+// get returns the job's checkpoint, creating it (and, with a dir, loading
+// any surviving file from a previous process) on first touch. Caller holds
+// c.mu.
+func (c *Checkpoints) getLocked(key string) *jobCheckpoint {
+	if j, ok := c.jobs[key]; ok {
+		return j
+	}
+	j := &jobCheckpoint{have: make(map[int]bool), subs: make(map[int]chan PointRecord)}
+	c.jobs[key] = j
+	if c.dir != "" {
+		c.loadLocked(key, j)
+	}
+	return j
+}
+
+// loadLocked replays a surviving checkpoint file into memory: one JSON
+// record per line, duplicates and malformed lines dropped (a torn final
+// line from a kill -9 costs exactly that one point), seqs renumbered to
+// completion order.
+func (c *Checkpoints) loadLocked(key string, j *jobCheckpoint) {
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return // no file = nothing checkpointed
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		var rec PointRecord
+		if json.Unmarshal(sc.Bytes(), &rec) != nil || rec.Index < 0 ||
+			len(rec.Row) == 0 || j.have[rec.Index] {
+			continue
+		}
+		rec.Seq = len(j.records) + 1
+		j.records = append(j.records, rec)
+		j.have[rec.Index] = true
+	}
+}
+
+// Restore loads the checkpoint for key and returns the skip vector for a
+// points-long sweep plus the number of restorable points. Out-of-range
+// indices (a spec collision would be an SHA-256 break; far likelier a
+// truncated axis from a changed cap) are ignored. (nil, 0) means a cold
+// start.
+func (c *Checkpoints) Restore(key string, points int) ([]bool, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.getLocked(key)
+	if len(j.records) == 0 {
+		return nil, 0
+	}
+	skip := make([]bool, points)
+	n := 0
+	for _, rec := range j.records {
+		if rec.Index < points && !skip[rec.Index] {
+			skip[rec.Index] = true
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	return skip, n
+}
+
+// Append records one completed point: first write per (key, index) wins —
+// the exactly-once-per-point contract — later duplicates are dropped. The
+// record lands in memory, on disk (best-effort), and in every live
+// subscriber's channel.
+func (c *Checkpoints) Append(key string, rec PointRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.getLocked(key)
+	if j.have[rec.Index] {
+		return
+	}
+	rec.Seq = len(j.records) + 1
+	j.records = append(j.records, rec)
+	j.have[rec.Index] = true
+
+	if c.dir != "" {
+		c.appendDiskLocked(key, j, rec)
+	}
+	for id, ch := range j.subs {
+		select {
+		case ch <- rec:
+		default:
+			// Lagging subscriber: drop it. The stream handler notices the
+			// closed channel and re-replays from its last seen seq.
+			close(ch)
+			delete(j.subs, id)
+		}
+	}
+}
+
+func (c *Checkpoints) appendDiskLocked(key string, j *jobCheckpoint, rec PointRecord) {
+	if j.file == nil {
+		if err := os.MkdirAll(c.dir, 0o755); err != nil {
+			c.diskErrors.Add(1)
+			return
+		}
+		f, err := os.OpenFile(c.path(key), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			c.diskErrors.Add(1)
+			return
+		}
+		j.file = f
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		c.diskErrors.Add(1)
+		return
+	}
+	if _, err := j.file.Write(append(line, '\n')); err != nil {
+		c.diskErrors.Add(1)
+	}
+}
+
+// Rows returns the checkpointed rows ordered by point index. ok is false
+// unless every one of the points indices is present — the gate before
+// assembling a final payload.
+func (c *Checkpoints) Rows(key string, points int) ([]json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[key]
+	if !ok || len(j.records) < points {
+		return nil, false
+	}
+	rows := make([]json.RawMessage, points)
+	for _, rec := range j.records {
+		if rec.Index < points {
+			rows[rec.Index] = rec.Row
+		}
+	}
+	for _, r := range rows {
+		if r == nil {
+			return nil, false
+		}
+	}
+	return rows, true
+}
+
+// Count returns how many points are checkpointed for key.
+func (c *Checkpoints) Count(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.jobs[key]; ok {
+		return len(j.records)
+	}
+	return 0
+}
+
+// Since returns the records with Seq > after, in completion order — the
+// stream replay source.
+func (c *Checkpoints) Since(key string, after int) []PointRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[key]
+	if !ok || after >= len(j.records) {
+		return nil
+	}
+	if after < 0 {
+		after = 0
+	}
+	out := make([]PointRecord, len(j.records)-after)
+	copy(out, j.records[after:])
+	return out
+}
+
+// Watch returns the replay of records with Seq > after plus a live channel
+// of subsequent appends. cancel unsubscribes (idempotent). A subscriber
+// that falls more than the channel buffer behind is dropped — its channel
+// closes, and it should re-Watch from the last seq it saw.
+func (c *Checkpoints) Watch(key string, after int) (replay []PointRecord, ch <-chan PointRecord, cancel func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.getLocked(key)
+	if after < 0 {
+		after = 0
+	}
+	if after < len(j.records) {
+		replay = make([]PointRecord, len(j.records)-after)
+		copy(replay, j.records[after:])
+	}
+	sub := make(chan PointRecord, 256)
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = sub
+	return replay, sub, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if cur, ok := j.subs[id]; ok && cur == sub {
+			delete(j.subs, id)
+		}
+	}
+}
+
+// Finish marks the job complete: the disk file is closed and removed (the
+// result now lives in the content-addressed cache), while the in-memory
+// records stay for stream replay until the job record is pruned.
+func (c *Checkpoints) Finish(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[key]
+	if !ok {
+		return
+	}
+	c.closeFileLocked(j)
+	if c.dir != "" {
+		os.Remove(c.path(key))
+	}
+}
+
+// Release closes the job's append handle without touching the file — the
+// incomplete-job path (cancel, drain, failure), where the file IS the
+// resume state for the next submission.
+func (c *Checkpoints) Release(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.jobs[key]; ok {
+		c.closeFileLocked(j)
+	}
+}
+
+// Forget drops the job's checkpoint entirely: memory, disk file, and
+// subscribers (their channels close).
+func (c *Checkpoints) Forget(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[key]
+	if !ok {
+		return
+	}
+	c.closeFileLocked(j)
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	if c.dir != "" {
+		os.Remove(c.path(key))
+	}
+	delete(c.jobs, key)
+}
+
+func (c *Checkpoints) closeFileLocked(j *jobCheckpoint) {
+	if j.file != nil {
+		j.file.Close()
+		j.file = nil
+	}
+}
+
+// CheckpointStats is a point-in-time view of the store.
+type CheckpointStats struct {
+	Jobs       int   `json:"jobs"`
+	Points     int   `json:"points"`
+	DiskErrors int64 `json:"disk_errors"`
+}
+
+// Stats snapshots the store counters.
+func (c *Checkpoints) Stats() CheckpointStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CheckpointStats{Jobs: len(c.jobs), DiskErrors: c.diskErrors.Load()}
+	for _, j := range c.jobs {
+		s.Points += len(j.records)
+	}
+	return s
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rec(index int) PointRecord {
+	return PointRecord{
+		Index: index,
+		Label: fmt.Sprintf("r=%d", index),
+		Row:   json.RawMessage(fmt.Sprintf(`{"r":%d}`, index)),
+	}
+}
+
+// TestCheckpointExactlyOnce: the first write per (key, index) wins;
+// duplicates change nothing and seqs stay dense completion order.
+func TestCheckpointExactlyOnce(t *testing.T) {
+	c := NewCheckpoints("")
+	c.Append("k", rec(2))
+	c.Append("k", rec(0))
+	c.Append("k", rec(2)) // duplicate index: dropped
+	c.Append("k", rec(1))
+
+	if n := c.Count("k"); n != 3 {
+		t.Fatalf("Count = %d, want 3", n)
+	}
+	got := c.Since("k", 0)
+	wantIdx := []int{2, 0, 1}
+	for i, r := range got {
+		if r.Seq != i+1 || r.Index != wantIdx[i] {
+			t.Errorf("record %d = seq %d index %d, want seq %d index %d", i, r.Seq, r.Index, i+1, wantIdx[i])
+		}
+	}
+	if more := c.Since("k", 2); len(more) != 1 || more[0].Index != 1 {
+		t.Errorf("Since(2) = %+v, want the third record only", more)
+	}
+}
+
+// TestCheckpointRestoreRows: Restore reports the skip vector and Rows
+// orders by index, refusing while points are missing.
+func TestCheckpointRestoreRows(t *testing.T) {
+	c := NewCheckpoints("")
+	if skip, n := c.Restore("k", 3); skip != nil || n != 0 {
+		t.Fatalf("cold Restore = %v, %d", skip, n)
+	}
+	c.Append("k", rec(2))
+	c.Append("k", rec(0))
+	skip, n := c.Restore("k", 3)
+	if n != 2 || !skip[0] || skip[1] || !skip[2] {
+		t.Fatalf("Restore = %v, %d, want [true false true], 2", skip, n)
+	}
+	if _, ok := c.Rows("k", 3); ok {
+		t.Fatal("Rows succeeded with a missing point")
+	}
+	c.Append("k", rec(1))
+	rows, ok := c.Rows("k", 3)
+	if !ok {
+		t.Fatal("Rows failed with all points present")
+	}
+	for i, r := range rows {
+		if string(r) != fmt.Sprintf(`{"r":%d}`, i) {
+			t.Errorf("row %d = %s", i, r)
+		}
+	}
+}
+
+// TestCheckpointDiskRoundTrip: records written through one store are
+// restored by a fresh store on the same dir — the process-restart path —
+// and Finish removes the file while Release keeps it.
+func TestCheckpointDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCheckpoints(dir)
+	c1.Append("job", rec(1))
+	c1.Append("job", rec(0))
+	c1.Release("job")
+
+	c2 := NewCheckpoints(dir)
+	skip, n := c2.Restore("job", 3)
+	if n != 2 || !skip[0] || !skip[1] || skip[2] {
+		t.Fatalf("restored skip = %v, %d", skip, n)
+	}
+	// The reloaded records keep their payloads and renumbered seqs.
+	recs := c2.Since("job", 0)
+	if len(recs) != 2 || recs[0].Index != 1 || recs[1].Index != 0 {
+		t.Fatalf("reloaded records = %+v", recs)
+	}
+	// Appending continues where the file left off.
+	c2.Append("job", rec(2))
+	if got := c2.Count("job"); got != 3 {
+		t.Fatalf("count after continue = %d", got)
+	}
+	c2.Finish("job")
+	if _, err := os.Stat(filepath.Join(dir, "job.ndjson")); !os.IsNotExist(err) {
+		t.Errorf("Finish left the checkpoint file behind: %v", err)
+	}
+	// Memory survives Finish for stream replay.
+	if got := c2.Count("job"); got != 3 {
+		t.Errorf("memory dropped at Finish: count = %d", got)
+	}
+}
+
+// TestCheckpointTornLine: a truncated final line (kill -9 mid-write) costs
+// exactly that record; intact lines load.
+func TestCheckpointTornLine(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCheckpoints(dir)
+	c1.Append("job", rec(0))
+	c1.Append("job", rec(1))
+	c1.Release("job")
+
+	path := filepath.Join(dir, "job.ndjson")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCheckpoints(dir)
+	skip, n := c2.Restore("job", 2)
+	if n != 1 || !skip[0] || skip[1] {
+		t.Fatalf("after torn line: skip = %v, n = %d, want only point 0", skip, n)
+	}
+}
+
+// TestCheckpointWatch: replay covers history, the live channel delivers
+// appends, and cancel unsubscribes.
+func TestCheckpointWatch(t *testing.T) {
+	c := NewCheckpoints("")
+	c.Append("k", rec(0))
+	replay, ch, cancel := c.Watch("k", 0)
+	defer cancel()
+	if len(replay) != 1 || replay[0].Index != 0 {
+		t.Fatalf("replay = %+v", replay)
+	}
+	c.Append("k", rec(1))
+	live := <-ch
+	if live.Index != 1 || live.Seq != 2 {
+		t.Fatalf("live = %+v", live)
+	}
+	// A cursor past history replays nothing.
+	replay2, _, cancel2 := c.Watch("k", 2)
+	cancel2()
+	if len(replay2) != 0 {
+		t.Fatalf("replay past end = %+v", replay2)
+	}
+}
+
+// TestCheckpointForget drops memory, disk, and closes subscribers.
+func TestCheckpointForget(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCheckpoints(dir)
+	c.Append("k", rec(0))
+	_, ch, _ := c.Watch("k", 0)
+	c.Forget("k")
+	if _, open := <-ch; open {
+		t.Error("subscriber channel not closed by Forget")
+	}
+	if n := c.Count("k"); n != 0 {
+		t.Errorf("count after Forget = %d", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k.ndjson")); !os.IsNotExist(err) {
+		t.Errorf("Forget left the file: %v", err)
+	}
+	if s := c.Stats(); s.Jobs != 0 || s.DiskErrors != 0 {
+		t.Errorf("stats after Forget = %+v", s)
+	}
+}

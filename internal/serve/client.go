@@ -1,18 +1,27 @@
+// Client for the versioned jobs API. Every method takes a context, non-2xx
+// replies come back as typed errors (*APIError, with ErrBusy wrapping 429
+// backpressure so callers can match it with errors.As and honor
+// Retry-After), Stream tails a job's per-point NDJSON with transparent
+// cursoring, and Await combines streaming with reconnect-on-drop so a
+// flaky connection degrades to a late answer instead of an error.
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
-// Client is a small helper over the jobs API — used by cmd/ccmserve's
-// tests and handy for driving a remote server programmatically. The zero
-// value is not usable; set BaseURL ("http://host:port").
+// Client is a helper over the jobs API — used by cmd/ccmserve and handy for
+// driving a remote server programmatically. The zero value is not usable;
+// set BaseURL ("http://host:port").
 type Client struct {
 	// BaseURL is the server root, without a trailing slash.
 	BaseURL string
@@ -30,13 +39,61 @@ func (c *Client) http() *http.Client {
 // APIError is a non-2xx reply from the server.
 type APIError struct {
 	StatusCode int
-	Message    string
+	// Code is the machine-matchable error code from the envelope
+	// ("queue_full", "not_found", ...); empty when the server sent no
+	// envelope.
+	Code    string
+	Message string
 	// RetryAfter echoes the Retry-After header on 429 backpressure replies.
 	RetryAfter string
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("serve client: status %d (%s): %s", e.StatusCode, e.Code, e.Message)
+	}
 	return fmt.Sprintf("serve client: status %d: %s", e.StatusCode, e.Message)
+}
+
+// ErrBusy is the typed form of 429 queue backpressure: the server is full
+// and said when to come back. Match with errors.As; SubmitRetry honors it
+// automatically.
+type ErrBusy struct {
+	// RetryAfter is the server's backoff hint (0 when the header was
+	// missing or unparseable — pick your own backoff).
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *ErrBusy) Error() string {
+	return fmt.Sprintf("serve client: server busy (retry after %s): %s", e.RetryAfter, e.Message)
+}
+
+// apiError decodes an error reply into the matching typed error.
+func apiError(statusCode int, header http.Header, raw []byte) error {
+	var env errorEnvelope
+	msg := string(bytes.TrimSpace(raw))
+	code := ""
+	if json.Unmarshal(raw, &env) == nil && env.Error.Message != "" {
+		msg, code = env.Error.Message, env.Error.Code
+	} else {
+		// Pre-envelope servers sent {"error":"msg"}.
+		var legacy struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &legacy) == nil && legacy.Error != "" {
+			msg = legacy.Error
+		}
+	}
+	retryAfter := header.Get("Retry-After")
+	if statusCode == http.StatusTooManyRequests {
+		d := time.Duration(0)
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			d = time.Duration(secs) * time.Second
+		}
+		return &ErrBusy{RetryAfter: d, Message: msg}
+	}
+	return &APIError{StatusCode: statusCode, Code: code, Message: msg, RetryAfter: retryAfter}
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body any, out any, accept ...int) error {
@@ -48,7 +105,7 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any,
 		}
 		rd = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+APIPrefix+path, rd)
 	if err != nil {
 		return err
 	}
@@ -72,22 +129,46 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any,
 			return json.Unmarshal(raw, out)
 		}
 	}
-	var apiErr struct {
-		Error string `json:"error"`
-	}
-	msg := string(raw)
-	if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-		msg = apiErr.Error
-	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg, RetryAfter: resp.Header.Get("Retry-After")}
+	return apiError(resp.StatusCode, resp.Header, raw)
 }
 
-// Submit posts a job and returns the server's {id, status} reply.
-func (c *Client) Submit(ctx context.Context, spec JobSpec, workers int) (SubmitResponse, error) {
+// Submit posts a job and returns the server's {id, status} reply. A full
+// queue comes back as *ErrBusy; see SubmitRetry for the loop that waits it
+// out.
+func (c *Client) Submit(ctx context.Context, spec JobSpec, opts SubmitOptions) (SubmitResponse, error) {
 	var out SubmitResponse
-	err := c.do(ctx, http.MethodPost, "/jobs", SubmitRequest{Spec: spec, Workers: workers}, &out,
-		http.StatusOK, http.StatusAccepted)
+	err := c.do(ctx, http.MethodPost, "/jobs", SubmitRequest{
+		Spec:     spec,
+		Workers:  opts.Workers,
+		Priority: opts.Priority,
+		Client:   opts.Client,
+	}, &out, http.StatusOK, http.StatusAccepted)
 	return out, err
+}
+
+// SubmitRetry submits, and on queue backpressure waits out the server's
+// Retry-After hint and tries again — until admission or ctx cancels. The
+// wait between attempts respects ctx: cancellation interrupts the sleep
+// immediately. Errors other than ErrBusy return as-is.
+func (c *Client) SubmitRetry(ctx context.Context, spec JobSpec, opts SubmitOptions) (SubmitResponse, error) {
+	for {
+		out, err := c.Submit(ctx, spec, opts)
+		var busy *ErrBusy
+		if !errors.As(err, &busy) {
+			return out, err
+		}
+		backoff := busy.RetryAfter
+		if backoff <= 0 {
+			backoff = time.Second
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return SubmitResponse{}, ctx.Err()
+		case <-t.C:
+		}
+	}
 }
 
 // Job fetches one job's status.
@@ -106,7 +187,8 @@ func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
 	return out.Jobs, err
 }
 
-// Cancel cancels a job.
+// Cancel cancels a job. The server keeps its checkpoint: resubmitting the
+// same spec resumes from the completed points.
 func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	var out JobStatus
 	err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &out, http.StatusOK)
@@ -114,10 +196,10 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 }
 
 // Result fetches a finished job's rendered result payload. While the job
-// is still queued or running it returns a nil payload with the current
-// status (HTTP 202) — poll or use Wait.
+// is still queued or running it returns a nil payload with no error
+// (HTTP 202) — poll, or use Await.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+id+"/result", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+APIPrefix+"/jobs/"+id+"/result", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -136,18 +218,143 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	case http.StatusAccepted:
 		return nil, nil
 	}
-	var apiErr struct {
-		Error string `json:"error"`
+	return nil, apiError(resp.StatusCode, resp.Header, raw)
+}
+
+// Stream is an iterator over a job's per-point event stream. Use it like
+// bufio.Scanner: for s.Next() { ev := s.Event() ... }; s.Err(); s.Close().
+type Stream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+	ev   StreamEvent
+	err  error
+}
+
+// Stream opens the job's NDJSON tail starting after seq `after` (0 = from
+// the beginning). The iterator yields every completed point in order and
+// finally one "state" event when the job settles. It does not reconnect —
+// Await layers that on top.
+func (c *Client) Stream(ctx context.Context, id string, after int) (*Stream, error) {
+	url := c.BaseURL + APIPrefix + "/jobs/" + id + "/stream"
+	if after > 0 {
+		url += "?after=" + strconv.Itoa(after)
 	}
-	msg := string(raw)
-	if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-		msg = apiErr.Error
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
 	}
-	return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return nil, apiError(resp.StatusCode, resp.Header, raw)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	return &Stream{body: resp.Body, sc: sc}, nil
+}
+
+// Next advances to the next event. It returns false at end of stream or on
+// error; check Err afterwards.
+func (s *Stream) Next() bool {
+	for s.sc.Scan() {
+		line := bytes.TrimSpace(s.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(line, &s.ev); err != nil {
+			s.err = fmt.Errorf("serve client: bad stream event: %w", err)
+			return false
+		}
+		return true
+	}
+	s.err = s.sc.Err()
+	return false
+}
+
+// Event returns the current event (valid after a true Next).
+func (s *Stream) Event() StreamEvent { return s.ev }
+
+// Err returns the terminal error, nil on a clean end of stream.
+func (s *Stream) Err() error { return s.err }
+
+// Close releases the connection. Safe to call at any point and repeatedly.
+func (s *Stream) Close() error { return s.body.Close() }
+
+// Await follows the job's stream until it reaches a terminal state and
+// returns the final status, invoking onPoint (when non-nil) for every point
+// event. Dropped connections are tolerated: Await reconnects from the last
+// seq it saw, so each point is delivered at most once and a mid-stream
+// network blip costs nothing but latency. It returns early only when ctx
+// cancels or the server rejects the stream (e.g. unknown job).
+func (c *Client) Await(ctx context.Context, id string, onPoint func(PointRecord)) (JobStatus, error) {
+	last := 0
+	for {
+		st, done, err := c.awaitOnce(ctx, id, &last, onPoint)
+		if done {
+			return st, err
+		}
+		if ctx.Err() != nil {
+			return JobStatus{}, ctx.Err()
+		}
+		// Connection dropped mid-stream; back off briefly and resume from
+		// the last seq delivered.
+		t := time.NewTimer(100 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return JobStatus{}, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// awaitOnce follows one stream connection. done reports a definitive
+// outcome (terminal state reached, or a non-retryable error); done false
+// means the connection dropped and the caller should reconnect.
+func (c *Client) awaitOnce(ctx context.Context, id string, last *int, onPoint func(PointRecord)) (JobStatus, bool, error) {
+	s, err := c.Stream(ctx, id, *last)
+	if err != nil {
+		if ctx.Err() != nil {
+			return JobStatus{}, true, ctx.Err()
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			return JobStatus{}, true, err // the server answered: not a blip
+		}
+		return JobStatus{}, false, err // dial/transport error: reconnect
+	}
+	defer s.Close()
+	for s.Next() {
+		ev := s.Event()
+		switch ev.Event {
+		case "point":
+			if ev.Point != nil {
+				if ev.Point.Seq > *last {
+					*last = ev.Point.Seq
+					if onPoint != nil {
+						onPoint(*ev.Point)
+					}
+				}
+			}
+		case "state":
+			if ev.State != nil && ev.State.State.Terminal() {
+				return *ev.State, true, nil
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return JobStatus{}, true, ctx.Err()
+	}
+	return JobStatus{}, false, s.Err()
 }
 
 // Wait polls the job until it reaches a terminal state (or ctx expires)
-// and returns the final status. poll <= 0 defaults to 50ms.
+// and returns the final status. poll <= 0 defaults to 50ms. Await is the
+// streaming alternative; Wait survives servers that predate /stream.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond

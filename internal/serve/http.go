@@ -1,17 +1,24 @@
-// The HTTP face of the serve layer. NewHandler mounts the jobs API beside
-// the PR 4 introspection endpoints (one mux, one port):
+// The HTTP face of the serve layer. NewHandler mounts the versioned jobs
+// API beside the introspection endpoints (one mux, one port):
 //
-//	POST   /jobs              submit a sweep job → {id, status} where
-//	                          status ∈ cached | queued | running
-//	GET    /jobs              list retained job records
-//	GET    /jobs/{id}         one job's status, progress, and ETA
-//	GET    /jobs/{id}/result  the rendered result JSON (202 while pending)
-//	DELETE /jobs/{id}         cancel a queued or running job
+//	POST   /api/v1/jobs              submit a sweep job → {id, status} where
+//	                                 status ∈ cached | queued | running
+//	GET    /api/v1/jobs              list retained job records
+//	GET    /api/v1/jobs/{id}         one job's status, progress, and ETA
+//	GET    /api/v1/jobs/{id}/result  the rendered result JSON (202 pending)
+//	GET    /api/v1/jobs/{id}/stream  NDJSON tail of per-point results;
+//	                                 resume with ?after=SEQ or Last-Event-ID
+//	DELETE /api/v1/jobs/{id}         cancel a queued or running job
 //
-// plus /metrics (collector snapshot + serve cache/queue counters),
-// /progress (live per-job tracker view), /events, /healthz, /readyz, and
-// /debug/pprof/ from internal/obs/httpserve. Backpressure: a full queue
-// answers 429 with a Retry-After header; a draining server answers 503.
+// The unversioned /jobs... paths from earlier revisions stay mounted as
+// thin aliases of the same handlers. Every error is the one envelope
+// {"error":{"code":"...","message":"..."}}. Backpressure: a full queue
+// answers 429 (code "queue_full") with a Retry-After header; a draining
+// server answers 503 (code "draining").
+//
+// The mux also serves /metrics (collector snapshot + serve cache, queue,
+// and checkpoint counters), /progress (live per-job tracker view), /events,
+// /healthz, /readyz, and /debug/pprof/ from internal/obs/httpserve.
 package serve
 
 import (
@@ -19,13 +26,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 
 	"netags/internal/obs/httpserve"
 )
 
-// SubmitRequest is the POST /jobs body.
+// APIPrefix is the versioned mount point of the jobs API.
+const APIPrefix = "/api/v1"
+
+// SubmitRequest is the POST /api/v1/jobs body.
 type SubmitRequest struct {
 	// Spec is the job to run (see JobSpec for the cache-key contract).
 	Spec JobSpec `json:"spec"`
@@ -34,22 +45,58 @@ type SubmitRequest struct {
 	// bytes and is excluded from the cache key. 0 means the server default;
 	// values above the server's per-job cap clamp to it.
 	Workers int `json:"workers,omitempty"`
+	// Priority selects the scheduling class: "interactive" (default) or
+	// "bulk". Interactive jobs always dispatch first; use bulk for batch
+	// fan-outs that should yield to humans. Not part of the cache key.
+	Priority Priority `json:"priority,omitempty"`
+	// Client identifies the submitter for per-client fairness within a
+	// priority class. Empty defaults to the connection's remote host.
+	Client string `json:"client,omitempty"`
 }
 
-// SubmitResponse is the POST /jobs reply.
+// SubmitResponse is the POST /api/v1/jobs reply.
 type SubmitResponse struct {
 	ID     string        `json:"id"`
 	Status SubmitOutcome `json:"status"`
 	Job    JobStatus     `json:"job"`
 }
 
+// StreamEvent is one NDJSON line of GET /api/v1/jobs/{id}/stream. Events
+// arrive in seq order: one "point" per completed sweep point, then exactly
+// one "state" carrying the job's terminal status. Reconnect with
+// ?after=<last seen seq> (or a Last-Event-ID header) to receive only what
+// was missed.
+type StreamEvent struct {
+	// Seq is the cursor: the point's completion number, or for the final
+	// state event the last point seq streamed.
+	Seq   int    `json:"seq"`
+	Event string `json:"event"` // "point" | "state"
+	// Point is set on "point" events.
+	Point *PointRecord `json:"point,omitempty"`
+	// State is set on the final "state" event.
+	State *JobStatus `json:"state,omitempty"`
+}
+
+// Error codes carried in the error envelope — stable, machine-matchable
+// names for each failure class (the HTTP status is the coarse version).
+const (
+	CodeBadRequest = "bad_request" // malformed body, invalid spec/priority
+	CodeQueueFull  = "queue_full"  // backpressure; honor Retry-After
+	CodeDraining   = "draining"    // server shutting down
+	CodeNotFound   = "not_found"   // unknown job id
+	CodeConflict   = "conflict"    // job canceled
+	CodeGone       = "gone"        // result evicted; resubmit the spec
+	CodeInternal   = "internal"    // job failed or server-side error
+)
+
 // maxSpecBody bounds the POST body (a spec with full axes fits easily).
 const maxSpecBody = 1 << 20
 
-// NewHandler builds the combined mux: the jobs API plus the introspection
-// endpoints. Unset obsOpts fields are wired to the manager: Progress to the
-// live job view, Ready to Accepting, ExtraMetrics to the cache/queue
-// counters (chained after any caller-provided hook).
+// NewHandler builds the combined mux: the jobs API under /api/v1 (with
+// unversioned aliases) plus the introspection endpoints. Unset obsOpts
+// fields are wired to the manager: Progress to the live job view, Ready to
+// Accepting, ExtraMetrics to the cache/queue/checkpoint counters (chained
+// after any caller-provided hook).
 func NewHandler(m *Manager, obsOpts httpserve.Options) http.Handler {
 	if obsOpts.Progress == nil {
 		obsOpts.Progress = m.ProgressJSON
@@ -65,81 +112,210 @@ func NewHandler(m *Manager, obsOpts httpserve.Options) http.Handler {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", httpserve.NewHandler(obsOpts))
+	// One registration per route, mounted twice: the versioned surface and
+	// the legacy unversioned aliases.
+	registerJobs(mux, m, APIPrefix)
+	registerJobs(mux, m, "")
+	return mux
+}
 
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
-		var req SubmitRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
-		if err := dec.Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-			return
-		}
-		st, outcome, err := m.Submit(req.Spec, req.Workers)
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(m)))
-			httpError(w, http.StatusTooManyRequests, err.Error())
-			return
-		case errors.Is(err, ErrDraining):
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		case err != nil:
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		code := http.StatusAccepted
-		if outcome == OutcomeCached {
-			code = http.StatusOK
-		}
-		writeJSON(w, code, SubmitResponse{ID: st.ID, Status: outcome, Job: st})
+func registerJobs(mux *http.ServeMux, m *Manager, prefix string) {
+	mux.HandleFunc("POST "+prefix+"/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(m, w, r)
 	})
-
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+prefix+"/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Jobs []JobStatus `json:"jobs"`
 		}{Jobs: m.Jobs()})
 	})
-
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+prefix+"/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := m.Job(r.PathValue("id"))
 		if !ok {
-			httpError(w, http.StatusNotFound, "unknown job")
+			writeError(w, http.StatusNotFound, CodeNotFound, "unknown job")
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
-
-	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
-		payload, st, ok := m.Result(r.PathValue("id"))
-		switch {
-		case !ok:
-			httpError(w, http.StatusNotFound, "unknown job")
-		case st.State == StateFailed:
-			httpError(w, http.StatusInternalServerError, "job failed: "+st.Error)
-		case st.State == StateCanceled:
-			httpError(w, http.StatusConflict, "job canceled")
-		case st.State != StateDone:
-			// Still queued or running: point the client back at the status.
-			writeJSON(w, http.StatusAccepted, st)
-		case payload == nil:
-			// Done but the payload was evicted from the cache: the content
-			// address still names it — resubmitting recomputes the same bytes.
-			httpError(w, http.StatusGone, "result evicted from cache; resubmit the spec")
-		default:
-			w.Header().Set("Content-Type", "application/json")
-			w.Write(payload)
-		}
+	mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		handleResult(m, w, r)
 	})
-
-	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+prefix+"/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		handleStream(m, w, r)
+	})
+	mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := m.Cancel(r.PathValue("id"))
 		if !ok {
-			httpError(w, http.StatusNotFound, "unknown job")
+			writeError(w, http.StatusNotFound, CodeNotFound, "unknown job")
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+}
 
-	return mux
+func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	client := req.Client
+	if client == "" {
+		// Per-client fairness falls back to the connection's remote host.
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			client = host
+		} else {
+			client = r.RemoteAddr
+		}
+	}
+	st, outcome, err := m.Submit(req.Spec, SubmitOptions{
+		Workers:  req.Workers,
+		Priority: req.Priority,
+		Client:   client,
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(m)))
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	code := http.StatusAccepted
+	if outcome == OutcomeCached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, SubmitResponse{ID: st.ID, Status: outcome, Job: st})
+}
+
+func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
+	payload, st, ok := m.Result(r.PathValue("id"))
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job")
+	case st.State == StateFailed:
+		writeError(w, http.StatusInternalServerError, CodeInternal, "job failed: "+st.Error)
+	case st.State == StateCanceled:
+		writeError(w, http.StatusConflict, CodeConflict, "job canceled; resubmit the spec to resume it")
+	case st.State != StateDone:
+		// Still queued or running: point the client back at the status.
+		writeJSON(w, http.StatusAccepted, st)
+	case payload == nil:
+		// Done but the payload was evicted from the cache: the content
+		// address still names it — resubmitting recomputes the same bytes.
+		writeError(w, http.StatusGone, CodeGone, "result evicted from cache; resubmit the spec")
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(payload)
+	}
+}
+
+// handleStream tails a job's per-point results as NDJSON. The full history
+// is replayed from the checkpoint (from seq 0, or after the client's
+// ?after= / Last-Event-ID cursor), then events stream live until the job
+// reaches a terminal state, at which point one final "state" event closes
+// the stream. Works on running, queued, and already-terminal jobs alike —
+// a done job simply replays and finishes immediately.
+func handleStream(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, known := m.Job(id)
+	if !known {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job")
+		return
+	}
+	after := 0
+	cursor := r.URL.Query().Get("after")
+	if cursor == "" {
+		cursor = r.Header.Get("Last-Event-ID")
+	}
+	if cursor != "" {
+		n, err := strconv.Atoi(cursor)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "after/Last-Event-ID must be a non-negative integer")
+			return
+		}
+		after = n
+	}
+
+	j := m.jobRecord(id)
+	var done <-chan struct{}
+	if j != nil && !st.State.Terminal() {
+		done = j.Done()
+	} else {
+		closed := make(chan struct{})
+		close(closed)
+		done = closed
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush() // ship the headers now; events may be a long time coming
+	enc := json.NewEncoder(w)
+	emit := func(ev StreamEvent) bool {
+		if enc.Encode(ev) != nil {
+			return false
+		}
+		rc.Flush()
+		return true
+	}
+
+	last := after
+	ctx := r.Context()
+stream:
+	for {
+		// Subscribe, replay what the cursor missed, then go live. A dropped
+		// (lagging) subscription closes its channel; we just resubscribe
+		// from the last seq we delivered — the replay fills the gap.
+		replay, ch, cancel := m.ckpt.Watch(id, last)
+		for _, rec := range replay {
+			rec := rec
+			if !emit(StreamEvent{Seq: rec.Seq, Event: "point", Point: &rec}) {
+				cancel()
+				return
+			}
+			last = rec.Seq
+		}
+		for {
+			select {
+			case rec, ok := <-ch:
+				if !ok {
+					cancel()
+					continue stream // lagged: resubscribe and re-replay
+				}
+				if rec.Seq <= last {
+					continue
+				}
+				if !emit(StreamEvent{Seq: rec.Seq, Event: "point", Point: &rec}) {
+					cancel()
+					return
+				}
+				last = rec.Seq
+			case <-done:
+				cancel()
+				// Final sweep: points that completed between our last event
+				// and the job settling.
+				for _, rec := range m.ckpt.Since(id, last) {
+					rec := rec
+					if !emit(StreamEvent{Seq: rec.Seq, Event: "point", Point: &rec}) {
+						return
+					}
+					last = rec.Seq
+				}
+				break stream
+			case <-ctx.Done():
+				cancel()
+				return
+			}
+		}
+	}
+	final, _ := m.Job(id)
+	emit(StreamEvent{Seq: last, Event: "state", State: &final})
 }
 
 // retryAfterSeconds is the backpressure hint on a 429: one second per job
@@ -154,7 +330,7 @@ func retryAfterSeconds(m *Manager) int {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -162,11 +338,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(append(b, '\n'))
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+// errorEnvelope is the single error shape every handler speaks:
+// {"error":{"code":"...","message":"..."}}.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	b, _ := json.Marshal(struct {
-		Error string `json:"error"`
-	}{Error: msg})
+	w.WriteHeader(status)
+	b, _ := json.Marshal(errorEnvelope{Error: errorDetail{Code: code, Message: msg}})
 	w.Write(append(b, '\n'))
 }

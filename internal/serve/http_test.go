@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,8 +13,6 @@ import (
 	"testing"
 	"time"
 
-	"netags/internal/experiment"
-	"netags/internal/obs"
 	"netags/internal/obs/httpserve"
 )
 
@@ -79,7 +78,7 @@ func TestE2EExactlyOnce(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	run := func(ctx context.Context, s JobSpec, workers int, observe func(experiment.Progress), tr obs.Tracer) ([]byte, error) {
+	run := func(ctx context.Context, s JobSpec, workers int, h runHooks) error {
 		execMu.Lock()
 		execs++
 		execMu.Unlock()
@@ -87,15 +86,15 @@ func TestE2EExactlyOnce(t *testing.T) {
 		select {
 		case <-release:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return ctx.Err()
 		}
-		return runSpec(ctx, s, workers, observe, tr)
+		return runSpecHooked(ctx, s, workers, h)
 	}
 	ts, _ := newTestServer(t, Config{Workers: 2, run: run})
 
-	// Submission A: minimal spec, defaults implied.
+	// Submission A: minimal spec, defaults implied, versioned path.
 	bodyA := `{"spec":{"n":150,"trials":1,"r_values":[4,6],"seed":3}}`
-	respA, rawA := postJSON(t, ts.URL+"/jobs", bodyA)
+	respA, rawA := postJSON(t, ts.URL+"/api/v1/jobs", bodyA)
 	if respA.StatusCode != http.StatusAccepted {
 		t.Fatalf("POST A = %d: %s", respA.StatusCode, rawA)
 	}
@@ -106,7 +105,8 @@ func TestE2EExactlyOnce(t *testing.T) {
 	<-started // A is executing and blocked at the gate
 
 	// Submission B: same job, different field order, defaults explicit,
-	// axis reversed, protocols reordered with a duplicate.
+	// axis reversed, protocols reordered with a duplicate — posted to the
+	// legacy unversioned alias, which must land on the same handler.
 	bodyB := `{"spec":{"seed":3,"r_values":[6,4],"radius":30,"sweep":"range",
 		"protocols":["TRP-CCM","SICP","GMLE-CCM","SICP"],"trials":1,"n":150}}`
 	respB, rawB := postJSON(t, ts.URL+"/jobs", bodyB)
@@ -202,7 +202,7 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
-	sub, err := cl.Submit(ctx, JobSpec{Sweep: SweepDensity, Trials: 1, R: 6, NValues: []int{50, 100}}, 1)
+	sub, err := cl.Submit(ctx, JobSpec{Sweep: SweepDensity, Trials: 1, R: 6, NValues: []int{50, 100}}, SubmitOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,18 +246,29 @@ func TestHTTPBadRequests(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("invalid spec = %d, want 400", resp.StatusCode)
 	}
-	var apiErr struct {
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(raw, &apiErr); err != nil || apiErr.Error == "" {
-		t.Errorf("error reply not structured: %s", raw)
+	var env errorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code != CodeBadRequest || env.Error.Message == "" {
+		t.Errorf("error reply not the envelope: %s", raw)
 	}
 
-	if code, _ := getBody(t, ts.URL+"/jobs/"+strings.Repeat("0", 64)); code != http.StatusNotFound {
-		t.Errorf("unknown job = %d, want 404", code)
+	// An invalid priority is rejected up front, same envelope.
+	resp, raw = postJSON(t, ts.URL+"/api/v1/jobs",
+		`{"spec":{"n":150,"trials":1,"r_values":[6]},"priority":"urgent"}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(raw), "priority") {
+		t.Errorf("bad priority = %d %s, want 400 mentioning priority", resp.StatusCode, raw)
 	}
-	if code, _ := getBody(t, ts.URL+"/jobs/"+strings.Repeat("0", 64)+"/result"); code != http.StatusNotFound {
-		t.Errorf("unknown result = %d, want 404", code)
+
+	for _, base := range []string{"", "/api/v1"} {
+		if code, raw := getBody(t, ts.URL+base+"/jobs/"+strings.Repeat("0", 64)); code != http.StatusNotFound ||
+			!strings.Contains(string(raw), CodeNotFound) {
+			t.Errorf("unknown job on %q = %d %s, want 404 envelope", base, code, raw)
+		}
+		if code, _ := getBody(t, ts.URL+base+"/jobs/"+strings.Repeat("0", 64)+"/result"); code != http.StatusNotFound {
+			t.Errorf("unknown result on %q = %d, want 404", base, code)
+		}
+		if code, _ := getBody(t, ts.URL+base+"/jobs/"+strings.Repeat("0", 64)+"/stream"); code != http.StatusNotFound {
+			t.Errorf("unknown stream on %q = %d, want 404", base, code)
+		}
 	}
 }
 
@@ -270,22 +281,21 @@ func TestHTTPBackpressure(t *testing.T) {
 	cl := &Client{BaseURL: ts.URL}
 	ctx := context.Background()
 
-	var apiErr *APIError
+	var busy *ErrBusy
 	for i := 0; i < 8; i++ {
-		_, err := cl.Submit(ctx, testSpec(i), 0)
+		_, err := cl.Submit(ctx, testSpec(i), SubmitOptions{})
 		if err != nil {
-			var ok bool
-			if apiErr, ok = err.(*APIError); !ok {
+			if !errors.As(err, &busy) {
 				t.Fatalf("unexpected error type: %v", err)
 			}
 			break
 		}
 	}
-	if apiErr == nil || apiErr.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("expected 429, got %v", apiErr)
+	if busy == nil {
+		t.Fatal("queue never filled")
 	}
-	if apiErr.RetryAfter == "" {
-		t.Error("429 missing Retry-After header")
+	if busy.RetryAfter <= 0 {
+		t.Errorf("ErrBusy.RetryAfter = %v, want a positive backoff from Retry-After", busy.RetryAfter)
 	}
 }
 
@@ -299,12 +309,12 @@ func TestHTTPCancelAndResultStates(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
-	blocker, err := cl.Submit(ctx, testSpec(0), 0)
+	blocker, err := cl.Submit(ctx, testSpec(0), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitRunning(t, m, blocker.ID)
-	queued, err := cl.Submit(ctx, testSpec(1), 0)
+	queued, err := cl.Submit(ctx, testSpec(1), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,8 +332,11 @@ func TestHTTPCancelAndResultStates(t *testing.T) {
 	}
 	if _, err := cl.Result(ctx, queued.ID); err == nil {
 		t.Fatal("result of canceled job did not error")
-	} else if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != http.StatusConflict {
-		t.Errorf("canceled result error = %v, want 409", err)
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict || apiErr.Code != CodeConflict {
+			t.Errorf("canceled result error = %v, want 409/%s", err, CodeConflict)
+		}
 	}
 }
 
@@ -359,7 +372,7 @@ func TestHTTPReadinessDuringDrain(t *testing.T) {
 func TestHTTPMetricsAndIntrospection(t *testing.T) {
 	gate := make(chan struct{})
 	ts, m := newTestServer(t, Config{Workers: 1, run: stubRun(nil, gate)})
-	sub, _, err := m.Submit(testSpec(0), 0)
+	sub, _, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,12 +62,20 @@ type Config struct {
 	// pruned beyond it (default 1024). Pruned results remain served from
 	// the cache until evicted.
 	MaxJobs int
+	// CheckpointDir, when set, persists per-point checkpoints as NDJSON
+	// files under it, so a killed process resumes its half-finished sweeps
+	// on the next submission of the same spec. Empty = in-memory
+	// checkpoints only (resume works within one process lifetime).
+	CheckpointDir string
 	// Tracer, if non-nil, receives every protocol run's event stream (wire
 	// the server's obs.Collector/Ring here). Must be concurrency-safe.
 	Tracer obs.Tracer
 
-	// run overrides job execution in tests. nil means runSpec.
-	run func(ctx context.Context, spec JobSpec, workers int, observe func(experiment.Progress), tracer obs.Tracer) ([]byte, error)
+	// run overrides job execution in tests. nil means runSpecHooked. The
+	// contract: call h.pointDone once per non-skipped point with its row,
+	// return when the sweep is complete or the context is canceled. The
+	// manager assembles the payload from the checkpointed rows afterwards.
+	run func(ctx context.Context, spec JobSpec, workers int, h runHooks) error
 }
 
 func (c Config) withDefaults() Config {
@@ -90,25 +98,43 @@ func (c Config) withDefaults() Config {
 		c.MaxJobs = 1024
 	}
 	if c.run == nil {
-		c.run = runSpec
+		c.run = runSpecHooked
 	}
 	return c
+}
+
+// SubmitOptions are the per-submission execution knobs. None of them can
+// change the result bytes, so none is part of the spec or its cache key.
+type SubmitOptions struct {
+	// Workers caps the job's experiment worker budget (0 or anything above
+	// the configured JobWorkers clamps to JobWorkers).
+	Workers int
+	// Priority is the scheduling class ("" = interactive).
+	Priority Priority
+	// Client identifies the submitter for per-client fairness within a
+	// priority class ("" = one shared anonymous client).
+	Client string
 }
 
 // Job is one submitted sweep: a spec, its content-addressed id, and the
 // execution state. All mutable fields are guarded by mu; done closes when
 // the job reaches a terminal state.
 type Job struct {
-	// ID is the spec's content address — the cache key. Identical specs
-	// share one job (the in-flight singleflight map).
+	// ID is the spec's content address — the cache key, the checkpoint key,
+	// and the stream identity. Identical specs share one job (the in-flight
+	// singleflight map).
 	ID   string
 	Spec JobSpec // normalized
 
-	workers int
-	tracker *experiment.Tracker
-	ctx     context.Context
-	cancel  context.CancelFunc
-	done    chan struct{}
+	workers  int
+	priority Priority
+	client   string
+	skip     []bool // checkpointed points to not recompute (resume)
+	resumed  int    // how many points the checkpoint restored
+	tracker  *experiment.Tracker
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
 
 	mu        sync.Mutex
 	state     JobState
@@ -158,23 +184,30 @@ func (j *Job) finish(state JobState, errMsg string) bool {
 	return true
 }
 
-// JobStatus is the JSON view of a job served by GET /jobs and
-// GET /jobs/{id}.
+// JobStatus is the JSON view of a job served by GET /api/v1/jobs and
+// GET /api/v1/jobs/{id}.
 type JobStatus struct {
 	ID    string   `json:"id"`
 	State JobState `json:"state"`
 	Sweep string   `json:"sweep"`
+	// Priority is the job's scheduling class.
+	Priority Priority `json:"priority,omitempty"`
 	// Cached marks a status synthesized for a cache hit with no live job
 	// record (the result predates this submission).
 	Cached bool `json:"cached,omitempty"`
 	// Deduplicated counts later submissions collapsed onto this execution.
 	Deduplicated int64  `json:"deduplicated,omitempty"`
 	Error        string `json:"error,omitempty"`
-	SubmittedAt  string `json:"submitted_at,omitempty"`
-	StartedAt    string `json:"started_at,omitempty"`
-	FinishedAt   string `json:"finished_at,omitempty"`
+	// ResumedPoints counts sweep points restored from a checkpoint instead
+	// of recomputed — nonzero exactly when this submission resumed an
+	// interrupted run.
+	ResumedPoints int    `json:"resumed_points,omitempty"`
+	SubmittedAt   string `json:"submitted_at,omitempty"`
+	StartedAt     string `json:"started_at,omitempty"`
+	FinishedAt    string `json:"finished_at,omitempty"`
 	// Progress is the per-job tracker snapshot: completed/total work
-	// items, per-point timing, throughput, ETA.
+	// items, per-point timing, throughput, ETA. On a resumed job the total
+	// counts only the points actually being computed.
 	Progress *experiment.TrackerSnapshot `json:"progress,omitempty"`
 }
 
@@ -190,10 +223,12 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	st := JobStatus{
 		ID: j.ID, State: j.state, Sweep: j.Spec.Sweep,
+		Priority:     j.priority,
 		Deduplicated: j.dedup, Error: j.err,
-		SubmittedAt: rfc3339(j.submitted),
-		StartedAt:   rfc3339(j.started),
-		FinishedAt:  rfc3339(j.finished),
+		ResumedPoints: j.resumed,
+		SubmittedAt:   rfc3339(j.submitted),
+		StartedAt:     rfc3339(j.started),
+		FinishedAt:    rfc3339(j.finished),
 	}
 	j.mu.Unlock()
 	snap := j.tracker.Snapshot()
@@ -201,17 +236,19 @@ func (j *Job) Status() JobStatus {
 	return st
 }
 
-// Manager owns the queue, the worker pool, the in-flight singleflight map,
-// and the result cache. Construct with NewManager, stop with Shutdown.
+// Manager owns the scheduler, the worker pool, the in-flight singleflight
+// map, the per-point checkpoint store, and the result cache. Construct with
+// NewManager, stop with Shutdown.
 type Manager struct {
 	cfg   Config
 	cache *Cache
+	ckpt  *Checkpoints
+	sched *schedQueue
 
 	mu       sync.Mutex
 	jobs     map[string]*Job // every retained record, by id (= spec key)
 	inflight map[string]*Job // queued/running only — the singleflight map
 	order    []string        // submission order for GET /jobs
-	queue    chan *Job
 	draining bool
 
 	wg        sync.WaitGroup
@@ -221,6 +258,7 @@ type Manager struct {
 	executed atomic.Int64 // sweeps actually run to completion or failure
 	deduped  atomic.Int64 // submissions joined onto an in-flight job
 	rejected atomic.Int64 // queue-full rejections
+	resumed  atomic.Int64 // points restored from checkpoints
 	running  atomic.Int64 // jobs currently executing
 }
 
@@ -230,9 +268,10 @@ func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheCapacity),
+		ckpt:     NewCheckpoints(cfg.CheckpointDir),
+		sched:    newSchedQueue(cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
-		queue:    make(chan *Job, cfg.QueueDepth),
 	}
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -243,6 +282,10 @@ func NewManager(cfg Config) *Manager {
 
 // Cache exposes the result cache (for /metrics wiring and tests).
 func (m *Manager) Cache() *Cache { return m.cache }
+
+// Checkpoints exposes the per-point checkpoint store (stream handler,
+// tests).
+func (m *Manager) Checkpoints() *Checkpoints { return m.ckpt }
 
 // Accepting reports whether new submissions are admitted — the /readyz
 // source; it flips false at the start of a graceful drain.
@@ -265,19 +308,25 @@ const (
 
 // Submit normalizes and validates the spec, then either serves it from the
 // cache (OutcomeCached), joins it onto an in-flight duplicate
-// (OutcomeQueued/OutcomeRunning, singleflight), or enqueues a new job.
-// workers caps the job's experiment worker budget (0 or anything above the
-// configured JobWorkers clamps to JobWorkers). Errors: validation errors,
-// ErrQueueFull (backpressure), ErrDraining (shutdown).
-func (m *Manager) Submit(spec JobSpec, workers int) (JobStatus, SubmitOutcome, error) {
+// (OutcomeQueued/OutcomeRunning, singleflight), or enqueues a new job under
+// opts' priority class and client. A job whose spec matches an interrupted
+// earlier run restores that run's checkpoint: the completed points are
+// skipped (exactly once per point) and the status reports them as
+// ResumedPoints. Errors: validation errors, ErrQueueFull (backpressure),
+// ErrDraining (shutdown).
+func (m *Manager) Submit(spec JobSpec, opts SubmitOptions) (JobStatus, SubmitOutcome, error) {
 	norm := spec.Normalized()
 	if err := norm.Validate(); err != nil {
 		return JobStatus{}, "", err
+	}
+	if !opts.Priority.Valid() {
+		return JobStatus{}, "", fmt.Errorf("serve: unknown priority %q", opts.Priority)
 	}
 	key, err := norm.Key()
 	if err != nil {
 		return JobStatus{}, "", err
 	}
+	workers := opts.Workers
 	if workers <= 0 || workers > m.cfg.JobWorkers {
 		workers = m.cfg.JobWorkers
 	}
@@ -294,7 +343,9 @@ func (m *Manager) Submit(spec JobSpec, workers int) (JobStatus, SubmitOutcome, e
 	}
 
 	// Singleflight: a queued or running duplicate absorbs this submission.
-	if j, ok := m.inflight[key]; ok {
+	// A terminal job still lingering in the map (finish → settle is not
+	// atomic with our lock) must not absorb it — its run is already over.
+	if j, ok := m.inflight[key]; ok && !j.State().Terminal() {
 		m.deduped.Add(1)
 		j.mu.Lock()
 		j.dedup++
@@ -311,24 +362,37 @@ func (m *Manager) Submit(spec JobSpec, workers int) (JobStatus, SubmitOutcome, e
 		return JobStatus{}, "", ErrDraining
 	}
 
+	points := norm.PointCount()
+	skip, resumed := m.ckpt.Restore(key, points)
+
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		ID: key, Spec: norm, workers: workers,
+		priority: opts.Priority.normalize(),
+		client:   opts.Client,
+		skip:     skip, resumed: resumed,
 		tracker: experiment.NewTracker(),
 		ctx:     ctx, cancel: cancel,
 		done:      make(chan struct{}),
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
-	j.tracker.SetTotal(norm.TotalItems())
-
-	select {
-	case m.queue <- j:
-	default:
-		cancel()
-		m.rejected.Add(1)
-		return JobStatus{}, "", ErrQueueFull
+	// The tracker denominator counts only the work actually ahead: resumed
+	// points contribute no items.
+	total := norm.TotalItems()
+	if points > 0 {
+		total -= resumed * (total / points)
 	}
+	j.tracker.SetTotal(total)
+
+	if err := m.sched.Push(j); err != nil {
+		cancel()
+		if errors.Is(err, ErrQueueFull) {
+			m.rejected.Add(1)
+		}
+		return JobStatus{}, "", err
+	}
+	m.resumed.Add(int64(resumed))
 	if _, known := m.jobs[key]; !known {
 		m.order = append(m.order, key)
 	}
@@ -338,8 +402,9 @@ func (m *Manager) Submit(spec JobSpec, workers int) (JobStatus, SubmitOutcome, e
 	return j.Status(), OutcomeQueued, nil
 }
 
-// pruneLocked drops the oldest terminal job records beyond MaxJobs. Their
-// results stay available through the cache until LRU eviction.
+// pruneLocked drops the oldest terminal job records beyond MaxJobs, along
+// with their checkpoints. Their results stay available through the cache
+// until LRU eviction.
 func (m *Manager) pruneLocked() {
 	if len(m.jobs) <= m.cfg.MaxJobs {
 		return
@@ -353,6 +418,7 @@ func (m *Manager) pruneLocked() {
 		}
 		if excess > 0 && j.State().Terminal() {
 			delete(m.jobs, id)
+			m.ckpt.Forget(id)
 			excess--
 			continue
 		}
@@ -361,36 +427,74 @@ func (m *Manager) pruneLocked() {
 	m.order = kept
 }
 
-// worker is one pool goroutine: it pops jobs until the queue closes.
+// worker is one pool goroutine: it pops jobs until the scheduler closes.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j, ok := m.sched.Pop()
+		if !ok {
+			return
+		}
 		m.runJob(j)
 	}
 }
 
-// runJob executes one job and settles its terminal state.
+// runJob executes one job and settles its terminal state. Every computed
+// point is checkpointed as it completes; on success the payload is
+// assembled from the full checkpoint row set (restored + fresh) — one
+// assembly path, so resumed and uninterrupted runs emit identical bytes.
 func (m *Manager) runJob(j *Job) {
 	if j.ctx.Err() != nil || !j.markRunning() {
 		// Canceled while queued (DELETE or drain): settle and move on.
 		j.finish(StateCanceled, "canceled before execution")
+		m.ckpt.Release(j.ID)
 		m.settle(j)
 		return
 	}
 	m.running.Add(1)
-	payload, err := m.cfg.run(j.ctx, j.Spec, j.workers, j.tracker.Wrap(nil), m.cfg.Tracer)
+	err := m.cfg.run(j.ctx, j.Spec, j.workers, runHooks{
+		observe: j.tracker.Wrap(nil),
+		tracer:  m.cfg.Tracer,
+		skip:    j.skip,
+		pointDone: func(rec PointRecord) {
+			m.ckpt.Append(j.ID, rec)
+		},
+	})
 	m.running.Add(-1)
 	m.executed.Add(1)
 	switch {
 	case err == nil:
-		m.cache.Put(j.ID, payload)
-		j.finish(StateDone, "")
+		m.completeJob(j)
 	case j.ctx.Err() != nil:
+		// The checkpoint keeps everything completed so far; the next
+		// submission of this spec resumes from it.
+		m.ckpt.Release(j.ID)
 		j.finish(StateCanceled, fmt.Sprintf("canceled: %v", err))
 	default:
+		m.ckpt.Release(j.ID)
 		j.finish(StateFailed, err.Error())
 	}
 	m.settle(j)
+}
+
+// completeJob assembles and caches the final payload from the job's
+// complete checkpoint row set, then retires the checkpoint file.
+func (m *Manager) completeJob(j *Job) {
+	rows, ok := m.ckpt.Rows(j.ID, j.Spec.PointCount())
+	if !ok {
+		m.ckpt.Release(j.ID)
+		j.finish(StateFailed, "sweep finished with missing points in checkpoint")
+		return
+	}
+	payload, err := assemblePayload(j.ID, j.Spec, rows)
+	if err != nil {
+		m.ckpt.Release(j.ID)
+		j.finish(StateFailed, err.Error())
+		return
+	}
+	m.cache.Put(j.ID, payload)
+	m.ckpt.Finish(j.ID)
+	j.finish(StateDone, "")
 }
 
 // settle removes a terminal job from the singleflight map.
@@ -415,6 +519,13 @@ func (m *Manager) Job(id string) (JobStatus, bool) {
 		return JobStatus{ID: id, State: StateDone, Cached: true}, true
 	}
 	return JobStatus{}, false
+}
+
+// jobRecord returns the live record for id (nil when pruned or unknown).
+func (m *Manager) jobRecord(id string) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
 }
 
 // Jobs lists every retained job record in submission order.
@@ -452,7 +563,8 @@ func (m *Manager) Result(id string) ([]byte, JobStatus, bool) {
 
 // Cancel cancels the job with the given id: a queued job settles
 // immediately, a running one has its context canceled and settles when the
-// sweep unwinds. Terminal jobs are left untouched.
+// sweep unwinds. Terminal jobs are left untouched. The job's checkpoint
+// survives — resubmitting the spec resumes from it.
 func (m *Manager) Cancel(id string) (JobStatus, bool) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
@@ -462,6 +574,7 @@ func (m *Manager) Cancel(id string) (JobStatus, bool) {
 	}
 	if j.State() == StateQueued {
 		if j.finish(StateCanceled, "canceled by request") {
+			m.ckpt.Release(id)
 			m.settle(j)
 		}
 		return j.Status(), true
@@ -473,7 +586,8 @@ func (m *Manager) Cancel(id string) (JobStatus, bool) {
 // Shutdown drains the manager gracefully: new submissions are rejected
 // (Accepting flips false, /readyz answers 503), queued jobs are canceled,
 // and in-flight jobs get until ctx's deadline to complete before their
-// contexts are canceled. It blocks until the pool exits and is idempotent:
+// contexts are canceled. Checkpoints of interrupted jobs survive for the
+// next process. It blocks until the pool exits and is idempotent:
 // concurrent and repeated calls all wait for the one drain and return the
 // same error (the ctx error when the deadline forced cancellation).
 func (m *Manager) Shutdown(ctx context.Context) error {
@@ -481,14 +595,14 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		m.mu.Lock()
 		m.draining = true
 		// Reject everything still waiting for a worker. The records stay
-		// (clients polling GET /jobs/{id} see "canceled"), the channel
+		// (clients polling GET /jobs/{id} see "canceled"), the scheduler
 		// entries are skipped by the workers.
 		for _, j := range m.inflight {
 			if j.State() == StateQueued {
 				j.finish(StateCanceled, "rejected: server shutting down")
 			}
 		}
-		close(m.queue)
+		m.sched.Close()
 		m.mu.Unlock()
 
 		drained := make(chan struct{})
@@ -512,6 +626,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		m.mu.Lock()
 		for id, j := range m.inflight {
 			if j.State().Terminal() {
+				m.ckpt.Release(id)
 				delete(m.inflight, id)
 			}
 		}
@@ -522,43 +637,50 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 
 // ManagerStats is a point-in-time view of the queue and pool counters.
 type ManagerStats struct {
-	Executed     int64 `json:"executed"`
-	Deduplicated int64 `json:"deduplicated"`
-	Rejected     int64 `json:"rejected"`
-	Running      int64 `json:"running"`
-	QueueLen     int   `json:"queue_len"`
-	QueueDepth   int   `json:"queue_depth"`
-	Jobs         int   `json:"jobs"`
+	Executed      int64 `json:"executed"`
+	Deduplicated  int64 `json:"deduplicated"`
+	Rejected      int64 `json:"rejected"`
+	ResumedPoints int64 `json:"resumed_points"`
+	Running       int64 `json:"running"`
+	QueueLen      int   `json:"queue_len"`
+	QueueDepth    int   `json:"queue_depth"`
+	Jobs          int   `json:"jobs"`
 }
 
 // Stats snapshots the manager counters.
 func (m *Manager) Stats() ManagerStats {
 	m.mu.Lock()
 	jobs := len(m.jobs)
-	queueLen := len(m.queue)
 	m.mu.Unlock()
 	return ManagerStats{
-		Executed:     m.executed.Load(),
-		Deduplicated: m.deduped.Load(),
-		Rejected:     m.rejected.Load(),
-		Running:      m.running.Load(),
-		QueueLen:     queueLen,
-		QueueDepth:   m.cfg.QueueDepth,
-		Jobs:         jobs,
+		Executed:      m.executed.Load(),
+		Deduplicated:  m.deduped.Load(),
+		Rejected:      m.rejected.Load(),
+		ResumedPoints: m.resumed.Load(),
+		Running:       m.running.Load(),
+		QueueLen:      m.sched.Len(),
+		QueueDepth:    m.cfg.QueueDepth,
+		Jobs:          jobs,
 	}
 }
 
-// WriteProm appends the cache and queue counters in Prometheus text
-// exposition format — wired into /metrics via httpserve's ExtraMetrics.
+// WriteProm appends the cache, queue, and checkpoint counters in Prometheus
+// text exposition format — wired into /metrics via httpserve's
+// ExtraMetrics.
 func (m *Manager) WriteProm(w io.Writer) {
 	m.cache.WriteProm(w)
 	s := m.Stats()
 	promCounter(w, "netags_serve_jobs_executed_total", "Sweeps actually executed (cache misses that ran).", s.Executed)
 	promCounter(w, "netags_serve_jobs_deduplicated_total", "Submissions collapsed onto an in-flight duplicate (singleflight).", s.Deduplicated)
 	promCounter(w, "netags_serve_jobs_rejected_total", "Submissions rejected by queue backpressure.", s.Rejected)
+	promCounter(w, "netags_serve_points_resumed_total", "Sweep points restored from checkpoints instead of recomputed.", s.ResumedPoints)
 	promGauge(w, "netags_serve_jobs_running", "Jobs currently executing.", float64(s.Running))
 	promGauge(w, "netags_serve_queue_len", "Jobs waiting for a worker.", float64(s.QueueLen))
 	promGauge(w, "netags_serve_jobs_retained", "Job records retained.", float64(s.Jobs))
+	cs := m.ckpt.Stats()
+	promGauge(w, "netags_serve_checkpoint_jobs", "Jobs with checkpoint state retained.", float64(cs.Jobs))
+	promGauge(w, "netags_serve_checkpoint_points", "Sweep points currently checkpointed.", float64(cs.Points))
+	promCounter(w, "netags_serve_checkpoint_disk_errors_total", "Checkpoint disk writes that failed (degraded to memory-only).", cs.DiskErrors)
 }
 
 // ProgressJSON renders the live view of every non-terminal job — the

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -11,7 +12,6 @@ import (
 	"time"
 
 	"netags/internal/experiment"
-	"netags/internal/obs"
 )
 
 // testSpec returns a tiny valid range spec; vary v to vary the key.
@@ -19,10 +19,28 @@ func testSpec(v int) JobSpec {
 	return JobSpec{N: 100 + v, Trials: 1, RValues: []float64{6}}
 }
 
-// stubRun builds a run override that returns a payload derived from the
-// spec after optionally blocking on a gate channel.
-func stubRun(executions *atomic.Int64, gate <-chan struct{}) func(context.Context, JobSpec, int, func(experiment.Progress), obs.Tracer) ([]byte, error) {
-	return func(ctx context.Context, spec JobSpec, workers int, observe func(experiment.Progress), _ obs.Tracer) ([]byte, error) {
+// emitStubPoints checkpoints one synthetic deterministic row per
+// non-skipped point, as the real runner would.
+func emitStubPoints(spec JobSpec, h runHooks) {
+	n := spec.Normalized()
+	for i := 0; i < n.PointCount(); i++ {
+		if h.skip != nil && i < len(h.skip) && h.skip[i] {
+			continue
+		}
+		if h.pointDone != nil {
+			h.pointDone(PointRecord{
+				Index: i,
+				Label: n.PointLabel(i),
+				Row:   json.RawMessage(fmt.Sprintf(`{"point":%d}`, i)),
+			})
+		}
+	}
+}
+
+// stubRun builds a run override that emits a synthetic row per point after
+// optionally blocking on a gate channel.
+func stubRun(executions *atomic.Int64, gate <-chan struct{}) func(context.Context, JobSpec, int, runHooks) error {
+	return func(ctx context.Context, spec JobSpec, workers int, h runHooks) error {
 		if executions != nil {
 			executions.Add(1)
 		}
@@ -30,17 +48,14 @@ func stubRun(executions *atomic.Int64, gate <-chan struct{}) func(context.Contex
 			select {
 			case <-gate:
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return ctx.Err()
 			}
 		}
-		if observe != nil {
-			observe(experiment.Progress{Sweep: spec.Sweep, Trial: 0, Trials: spec.Trials, Completed: 1, Total: spec.TotalItems()})
+		if h.observe != nil {
+			h.observe(experiment.Progress{Sweep: spec.Sweep, Trial: 0, Trials: spec.Trials, Completed: 1, Total: spec.TotalItems()})
 		}
-		key, err := spec.Key()
-		if err != nil {
-			return nil, err
-		}
-		return []byte(`{"key":"` + key + `"}` + "\n"), nil
+		emitStubPoints(spec, h)
+		return nil
 	}
 }
 
@@ -82,7 +97,7 @@ func TestManagerLifecycle(t *testing.T) {
 	m := NewManager(Config{Workers: 2, run: stubRun(&execs, nil)})
 	defer m.Shutdown(context.Background())
 
-	st, outcome, err := m.Submit(testSpec(0), 0)
+	st, outcome, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil || outcome != OutcomeQueued {
 		t.Fatalf("Submit = %v, %v, %v", st, outcome, err)
 	}
@@ -96,7 +111,7 @@ func TestManagerLifecycle(t *testing.T) {
 	}
 
 	// Resubmission: a pure cache hit, no second execution.
-	st2, outcome2, err := m.Submit(testSpec(0), 0)
+	st2, outcome2, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil || outcome2 != OutcomeCached || st2.ID != st.ID {
 		t.Fatalf("resubmit = %v, %v, %v", st2, outcome2, err)
 	}
@@ -120,7 +135,7 @@ func TestManagerSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st, _, err := m.Submit(testSpec(0), 0)
+			st, _, err := m.Submit(testSpec(0), SubmitOptions{})
 			if err != nil {
 				t.Errorf("submitter %d: %v", i, err)
 				return
@@ -161,7 +176,7 @@ func TestManagerBackpressure(t *testing.T) {
 	// submitting distinct specs until the queue is provably full.
 	var err error
 	for i := 0; i < 8; i++ {
-		_, _, err = m.Submit(testSpec(i), 0)
+		_, _, err = m.Submit(testSpec(i), SubmitOptions{})
 		if err != nil {
 			break
 		}
@@ -182,11 +197,11 @@ func TestManagerCancelQueued(t *testing.T) {
 	m := NewManager(Config{Workers: 1, QueueDepth: 4, run: stubRun(&execs, gate)})
 	defer m.Shutdown(context.Background())
 
-	blocker, _, err := m.Submit(testSpec(0), 0)
+	blocker, _, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, _, err := m.Submit(testSpec(1), 0)
+	queued, _, err := m.Submit(testSpec(1), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +216,7 @@ func TestManagerCancelQueued(t *testing.T) {
 		t.Errorf("canceled job executed (execs = %d)", got)
 	}
 	// A canceled job's slot is free again: resubmitting re-queues it.
-	st2, outcome, err := m.Submit(testSpec(1), 0)
+	st2, outcome, err := m.Submit(testSpec(1), SubmitOptions{})
 	if err != nil || outcome != OutcomeQueued {
 		t.Fatalf("resubmit after cancel = %v, %v, %v", st2, outcome, err)
 	}
@@ -216,7 +231,7 @@ func TestManagerCancelRunning(t *testing.T) {
 	m := NewManager(Config{Workers: 1, run: stubRun(nil, gate)})
 	defer m.Shutdown(context.Background())
 
-	st, _, err := m.Submit(testSpec(0), 0)
+	st, _, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,15 +263,16 @@ func TestManagerCancelRunning(t *testing.T) {
 // resubmission retries.
 func TestManagerFailedJobNotCached(t *testing.T) {
 	var attempts atomic.Int64
-	m := NewManager(Config{Workers: 1, run: func(ctx context.Context, spec JobSpec, workers int, observe func(experiment.Progress), _ obs.Tracer) ([]byte, error) {
+	m := NewManager(Config{Workers: 1, run: func(ctx context.Context, spec JobSpec, workers int, h runHooks) error {
 		if attempts.Add(1) == 1 {
-			return nil, errors.New("transient failure")
+			return errors.New("transient failure")
 		}
-		return []byte("{}\n"), nil
+		emitStubPoints(spec, h)
+		return nil
 	}})
 	defer m.Shutdown(context.Background())
 
-	st, _, err := m.Submit(testSpec(0), 0)
+	st, _, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +280,7 @@ func TestManagerFailedJobNotCached(t *testing.T) {
 		!strings.Contains(final.Error, "transient failure") {
 		t.Fatalf("first attempt = %+v", final)
 	}
-	st2, outcome, err := m.Submit(testSpec(0), 0)
+	st2, outcome, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil || outcome != OutcomeQueued {
 		t.Fatalf("resubmit after failure = %v %v", outcome, err)
 	}
@@ -281,7 +297,7 @@ func TestManagerFailedJobNotCached(t *testing.T) {
 func TestManagerShutdownGraceful(t *testing.T) {
 	gate := make(chan struct{})
 	m := NewManager(Config{Workers: 1, run: stubRun(nil, gate)})
-	st, _, err := m.Submit(testSpec(0), 0)
+	st, _, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +323,7 @@ func TestManagerShutdownTimeout(t *testing.T) {
 	gate := make(chan struct{}) // never released: the job blocks until canceled
 	defer close(gate)
 	m := NewManager(Config{Workers: 1, run: stubRun(nil, gate)})
-	st, _, err := m.Submit(testSpec(0), 0)
+	st, _, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,12 +344,12 @@ func TestManagerShutdownRejectsQueued(t *testing.T) {
 	gate := make(chan struct{})
 	m := NewManager(Config{Workers: 1, QueueDepth: 4, run: stubRun(nil, gate)})
 
-	running, _, err := m.Submit(testSpec(0), 0)
+	running, _, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitRunning(t, m, running.ID)
-	queued, _, err := m.Submit(testSpec(1), 0)
+	queued, _, err := m.Submit(testSpec(1), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +375,7 @@ func TestManagerShutdownRejectsQueued(t *testing.T) {
 	if st, _ := m.Job(running.ID); st.State != StateDone {
 		t.Errorf("running job after drain = %s, want done", st.State)
 	}
-	if _, _, err := m.Submit(testSpec(2), 0); !errors.Is(err, ErrDraining) {
+	if _, _, err := m.Submit(testSpec(2), SubmitOptions{}); !errors.Is(err, ErrDraining) {
 		t.Errorf("submit during/after drain = %v, want ErrDraining", err)
 	}
 }
@@ -369,7 +385,7 @@ func TestManagerShutdownRejectsQueued(t *testing.T) {
 func TestManagerShutdownIdempotentConcurrent(t *testing.T) {
 	var execs atomic.Int64
 	m := NewManager(Config{Workers: 2, run: stubRun(&execs, nil)})
-	if _, _, err := m.Submit(testSpec(0), 0); err != nil {
+	if _, _, err := m.Submit(testSpec(0), SubmitOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -404,7 +420,7 @@ func TestManagerPrune(t *testing.T) {
 	defer m.Shutdown(context.Background())
 	var ids []string
 	for i := 0; i < 4; i++ {
-		st, _, err := m.Submit(testSpec(i), 0)
+		st, _, err := m.Submit(testSpec(i), SubmitOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -430,10 +446,10 @@ func TestManagerProgressJSON(t *testing.T) {
 	gate := make(chan struct{})
 	m := NewManager(Config{Workers: 1, QueueDepth: 4, run: stubRun(nil, gate)})
 	defer func() { close(gate); m.Shutdown(context.Background()) }()
-	if _, _, err := m.Submit(testSpec(0), 0); err != nil {
+	if _, _, err := m.Submit(testSpec(0), SubmitOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Submit(testSpec(1), 0); err != nil {
+	if _, _, err := m.Submit(testSpec(1), SubmitOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := m.ProgressJSON()
@@ -451,12 +467,13 @@ func TestManagerProgressJSON(t *testing.T) {
 // TestManagerWorkersClamp: the per-job budget clamps to the configured cap.
 func TestManagerWorkersClamp(t *testing.T) {
 	got := make(chan int, 1)
-	m := NewManager(Config{Workers: 1, JobWorkers: 3, run: func(ctx context.Context, spec JobSpec, workers int, observe func(experiment.Progress), _ obs.Tracer) ([]byte, error) {
+	m := NewManager(Config{Workers: 1, JobWorkers: 3, run: func(ctx context.Context, spec JobSpec, workers int, h runHooks) error {
 		got <- workers
-		return []byte("{}\n"), nil
+		emitStubPoints(spec, h)
+		return nil
 	}})
 	defer m.Shutdown(context.Background())
-	st, _, err := m.Submit(testSpec(0), 100)
+	st, _, err := m.Submit(testSpec(0), SubmitOptions{Workers: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,7 +486,7 @@ func TestManagerWorkersClamp(t *testing.T) {
 func TestManagerStatsAndProm(t *testing.T) {
 	m := NewManager(Config{Workers: 1, run: stubRun(nil, nil)})
 	defer m.Shutdown(context.Background())
-	st, _, err := m.Submit(testSpec(0), 0)
+	st, _, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -511,7 +528,7 @@ func TestManagerRealSweepDeterminism(t *testing.T) {
 
 	m := NewManager(Config{Workers: 2})
 	defer m.Shutdown(context.Background())
-	st, _, err := m.Submit(spec, 2)
+	st, _, err := m.Submit(spec, SubmitOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

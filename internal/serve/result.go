@@ -1,15 +1,20 @@
-// Result execution and rendering. runSpec is the single bridge from a
-// canonical JobSpec to the experiment package's sweeps, and the encoders
-// below render each sweep's results into deterministic JSON: fixed field
-// order, canonical protocol order, float64 formatting delegated to
-// encoding/json (which is itself deterministic). Byte-identical payloads
-// for equal specs are what make the content-addressed cache exact.
+// Result execution and rendering. runSpecHooked is the single bridge from
+// a canonical JobSpec to the experiment package's sweeps: it streams every
+// completed grid point out through a hook as deterministic row JSON (fixed
+// field order, canonical protocol order, float64 formatting delegated to
+// encoding/json). The final payload is assembled from those per-point rows
+// by assemblePayload — the same function whether the rows were computed
+// just now, restored from a checkpoint, or a mix — so an interrupted-and-
+// resumed sweep produces byte-identical payloads to an uninterrupted run
+// by construction. Byte-identical payloads for equal specs are what make
+// the content-addressed cache exact.
 package serve
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"netags/internal/experiment"
 	"netags/internal/obs"
@@ -60,25 +65,181 @@ type lossRowJSON struct {
 	Rounds         sampleJSON `json:"rounds"`
 }
 
-// resultPayload is the JSON document served by GET /jobs/{id}/result and
-// stored in the cache. Exactly one row slice is populated, matching the
-// spec's sweep kind.
+// resultPayload is the JSON document served by GET /api/v1/jobs/{id}/result
+// and stored in the cache. Exactly one row slice is populated, matching the
+// spec's sweep kind; rows are raw per-point JSON, the same bytes that were
+// checkpointed and streamed as each point completed.
 type resultPayload struct {
 	// Key is the job's content address (also its job id).
 	Key string `json:"key"`
 	// Spec echoes the normalized spec the result was computed from.
 	Spec JobSpec `json:"spec"`
 	// Rows, one flavor per sweep kind.
-	RangeRows   []rangeRowJSON   `json:"range_rows,omitempty"`
-	DensityRows []densityRowJSON `json:"density_rows,omitempty"`
-	LossRows    []lossRowJSON    `json:"loss_rows,omitempty"`
+	RangeRows   []json.RawMessage `json:"range_rows,omitempty"`
+	DensityRows []json.RawMessage `json:"density_rows,omitempty"`
+	LossRows    []json.RawMessage `json:"loss_rows,omitempty"`
 }
 
-// runSpec executes the normalized spec with the given worker budget and
-// returns the canonical result payload bytes. observe receives the sweep's
-// Progress events (the manager wires a per-job Tracker); tracer, if
-// non-nil, receives every protocol run's event stream (the server's
-// /metrics collector).
+// Per-point row encoders. Each renders one grid point's aggregates into
+// the deterministic row JSON; protocols appear in the canonical order
+// regardless of how the map iterates.
+
+func encodeRangeRow(row experiment.Row) (json.RawMessage, error) {
+	rj := rangeRowJSON{R: row.R, Tiers: sampleView(&row.Tiers)}
+	for _, proto := range protocolOrder {
+		m, ok := row.ByProtocol[proto]
+		if !ok {
+			continue
+		}
+		rj.Protocols = append(rj.Protocols, protoMetricsJSON{
+			Protocol:    string(proto),
+			Slots:       sampleView(&m.Slots),
+			MaxSent:     sampleView(&m.MaxSent),
+			MaxReceived: sampleView(&m.MaxReceived),
+			AvgSent:     sampleView(&m.AvgSent),
+			AvgReceived: sampleView(&m.AvgReceived),
+		})
+	}
+	return json.Marshal(rj)
+}
+
+func encodeDensityRow(row experiment.DensityRow) (json.RawMessage, error) {
+	return json.Marshal(densityRowJSON{
+		N:         row.N,
+		Tiers:     sampleView(&row.Tiers),
+		SICPSlots: sampleView(&row.SICPSlots),
+		GMLESlots: sampleView(&row.GMLESlots),
+		TRPSlots:  sampleView(&row.TRPSlots),
+	})
+}
+
+func encodeLossRow(row experiment.LossRow) (json.RawMessage, error) {
+	return json.Marshal(lossRowJSON{
+		Loss:           row.Loss,
+		Delivery:       sampleView(&row.Delivery),
+		FalsePositives: sampleView(&row.FalsePositives),
+		Rounds:         sampleView(&row.Rounds),
+	})
+}
+
+// runHooks carries the per-run wiring from the manager into runSpecHooked.
+type runHooks struct {
+	// observe receives the sweep's per-item Progress events (the manager
+	// wires the job's Tracker).
+	observe func(experiment.Progress)
+	// tracer, if non-nil, receives every protocol run's event stream.
+	tracer obs.Tracer
+	// skip marks point indices already checkpointed; their work items are
+	// not run (the resume path). nil means run everything.
+	skip []bool
+	// pointDone, if non-nil, receives each computed point's record (Seq
+	// unset — the checkpoint store stamps it) as soon as the point's last
+	// trial lands. Calls are serialized.
+	pointDone func(rec PointRecord)
+}
+
+// runSpecHooked executes the normalized spec with the given worker budget,
+// streaming every computed point out through h.pointDone. It returns no
+// payload: the caller assembles one from the complete row set (checkpoint
+// plus fresh points) with assemblePayload.
+func runSpecHooked(ctx context.Context, spec JobSpec, workers int, h runHooks) error {
+	n := spec.Normalized()
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	base := experiment.BaseConfig{
+		N:       n.N,
+		Radius:  n.Radius,
+		Trials:  n.Trials,
+		Seed:    n.Seed,
+		Workers: workers,
+		Tracer:  h.tracer,
+	}
+	emit := func(encode func() (json.RawMessage, error), info experiment.PointInfo) {
+		if h.pointDone == nil {
+			return
+		}
+		row, err := encode()
+		if err != nil {
+			// A row that cannot marshal is a programming error; surface it
+			// loudly rather than checkpointing a hole.
+			panic(fmt.Sprintf("serve: encode point %d: %v", info.Index, err))
+		}
+		h.pointDone(PointRecord{
+			Index:     info.Index,
+			Label:     n.PointLabel(info.Index),
+			ElapsedMS: float64(info.Elapsed) / float64(time.Millisecond),
+			Row:       row,
+		})
+	}
+	switch n.Sweep {
+	case SweepRange:
+		protos := make([]experiment.Protocol, len(n.Protocols))
+		for i, p := range n.Protocols {
+			protos[i] = experiment.Protocol(p)
+		}
+		_, err := experiment.RunContextPartial(ctx, experiment.Config{
+			BaseConfig:             base,
+			RValues:                n.RValues,
+			GMLEFrame:              n.GMLEFrame,
+			TRPFrame:               n.TRPFrame,
+			Protocols:              protos,
+			ContentionWindow:       n.ContentionWindow,
+			DisableIndicatorVector: n.DisableIndicatorVector,
+		}, h.skip, func(info experiment.PointInfo, row experiment.Row) {
+			emit(func() (json.RawMessage, error) { return encodeRangeRow(row) }, info)
+		}, h.observe)
+		return err
+	case SweepDensity:
+		_, err := experiment.RunDensitySweepPartial(ctx, experiment.DensityConfig{
+			BaseConfig: base,
+			NValues:    n.NValues,
+			R:          n.R,
+		}, h.skip, func(info experiment.PointInfo, row experiment.DensityRow) {
+			emit(func() (json.RawMessage, error) { return encodeDensityRow(row) }, info)
+		}, h.observe)
+		return err
+	case SweepLoss:
+		_, err := experiment.RunLossSweepPartial(ctx, experiment.LossConfig{
+			BaseConfig: base,
+			R:          n.R,
+			LossValues: n.LossValues,
+			FrameSize:  n.FrameSize,
+		}, h.skip, func(info experiment.PointInfo, row experiment.LossRow) {
+			emit(func() (json.RawMessage, error) { return encodeLossRow(row) }, info)
+		}, h.observe)
+		return err
+	}
+	return fmt.Errorf("serve: unknown sweep kind %q", n.Sweep)
+}
+
+// assemblePayload renders the final result document from the job's
+// complete, index-ordered row set. It is the only payload producer:
+// uninterrupted, resumed, and direct runs all funnel through it, which is
+// what makes their bytes identical.
+func assemblePayload(key string, spec JobSpec, rows []json.RawMessage) ([]byte, error) {
+	n := spec.Normalized()
+	p := resultPayload{Key: key, Spec: n}
+	switch n.Sweep {
+	case SweepRange:
+		p.RangeRows = rows
+	case SweepDensity:
+		p.DensityRows = rows
+	case SweepLoss:
+		p.LossRows = rows
+	default:
+		return nil, fmt.Errorf("serve: unknown sweep kind %q", n.Sweep)
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// runSpec executes the spec start-to-finish and returns the assembled
+// payload — the direct, checkpoint-free path, used by tests as the
+// byte-identity reference for everything the service layers on top.
 func runSpec(ctx context.Context, spec JobSpec, workers int, observe func(experiment.Progress), tracer obs.Tracer) ([]byte, error) {
 	n := spec.Normalized()
 	if err := n.Validate(); err != nil {
@@ -88,116 +249,23 @@ func runSpec(ctx context.Context, spec JobSpec, workers int, observe func(experi
 	if err != nil {
 		return nil, err
 	}
-	base := experiment.BaseConfig{
-		N:       n.N,
-		Radius:  n.Radius,
-		Trials:  n.Trials,
-		Seed:    n.Seed,
-		Workers: workers,
-		Tracer:  tracer,
-	}
-	switch n.Sweep {
-	case SweepRange:
-		protos := make([]experiment.Protocol, len(n.Protocols))
-		for i, p := range n.Protocols {
-			protos[i] = experiment.Protocol(p)
-		}
-		res, err := experiment.RunContext(ctx, experiment.Config{
-			BaseConfig:             base,
-			RValues:                n.RValues,
-			GMLEFrame:              n.GMLEFrame,
-			TRPFrame:               n.TRPFrame,
-			Protocols:              protos,
-			ContentionWindow:       n.ContentionWindow,
-			DisableIndicatorVector: n.DisableIndicatorVector,
-		}, observe)
-		if err != nil {
-			return nil, err
-		}
-		return encodeRange(key, n, res)
-	case SweepDensity:
-		res, err := experiment.RunDensitySweepContext(ctx, experiment.DensityConfig{
-			BaseConfig: base,
-			NValues:    n.NValues,
-			R:          n.R,
-		}, observe)
-		if err != nil {
-			return nil, err
-		}
-		return encodeDensity(key, n, res)
-	case SweepLoss:
-		res, err := experiment.RunLossSweepContext(ctx, experiment.LossConfig{
-			BaseConfig: base,
-			R:          n.R,
-			LossValues: n.LossValues,
-			FrameSize:  n.FrameSize,
-		}, observe)
-		if err != nil {
-			return nil, err
-		}
-		return encodeLoss(key, n, res)
-	}
-	return nil, fmt.Errorf("serve: unknown sweep kind %q", n.Sweep)
-}
-
-// encodeRange renders range-sweep results; protocols appear in the
-// canonical order regardless of how the map iterates.
-func encodeRange(key string, spec JobSpec, res *experiment.Results) ([]byte, error) {
-	p := resultPayload{Key: key, Spec: spec}
-	for _, row := range res.Rows {
-		rj := rangeRowJSON{R: row.R, Tiers: sampleView(&row.Tiers)}
-		for _, proto := range protocolOrder {
-			m, ok := row.ByProtocol[proto]
-			if !ok {
-				continue
+	rows := make([]json.RawMessage, n.PointCount())
+	err = runSpecHooked(ctx, n, workers, runHooks{
+		observe: observe,
+		tracer:  tracer,
+		pointDone: func(rec PointRecord) {
+			if rec.Index >= 0 && rec.Index < len(rows) {
+				rows[rec.Index] = rec.Row
 			}
-			rj.Protocols = append(rj.Protocols, protoMetricsJSON{
-				Protocol:    string(proto),
-				Slots:       sampleView(&m.Slots),
-				MaxSent:     sampleView(&m.MaxSent),
-				MaxReceived: sampleView(&m.MaxReceived),
-				AvgSent:     sampleView(&m.AvgSent),
-				AvgReceived: sampleView(&m.AvgReceived),
-			})
-		}
-		p.RangeRows = append(p.RangeRows, rj)
-	}
-	return marshalPayload(p)
-}
-
-func encodeDensity(key string, spec JobSpec, res *experiment.DensityResults) ([]byte, error) {
-	p := resultPayload{Key: key, Spec: spec}
-	for i := range res.Rows {
-		row := &res.Rows[i]
-		p.DensityRows = append(p.DensityRows, densityRowJSON{
-			N:         row.N,
-			Tiers:     sampleView(&row.Tiers),
-			SICPSlots: sampleView(&row.SICPSlots),
-			GMLESlots: sampleView(&row.GMLESlots),
-			TRPSlots:  sampleView(&row.TRPSlots),
-		})
-	}
-	return marshalPayload(p)
-}
-
-func encodeLoss(key string, spec JobSpec, res *experiment.LossResults) ([]byte, error) {
-	p := resultPayload{Key: key, Spec: spec}
-	for i := range res.Rows {
-		row := &res.Rows[i]
-		p.LossRows = append(p.LossRows, lossRowJSON{
-			Loss:           row.Loss,
-			Delivery:       sampleView(&row.Delivery),
-			FalsePositives: sampleView(&row.FalsePositives),
-			Rounds:         sampleView(&row.Rounds),
-		})
-	}
-	return marshalPayload(p)
-}
-
-func marshalPayload(p resultPayload) ([]byte, error) {
-	b, err := json.Marshal(p)
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	return append(b, '\n'), nil
+	for i, r := range rows {
+		if r == nil {
+			return nil, fmt.Errorf("serve: sweep finished without point %d", i)
+		}
+	}
+	return assemblePayload(key, n, rows)
 }

@@ -1,0 +1,167 @@
+// Priority-aware admission ahead of the worker pool. The old FIFO channel
+// gave one bulk client with a burst of million-point grids the whole
+// queue; schedQueue replaces it with two strict priority classes
+// (interactive always dispatches before bulk) and round-robin fairness
+// across clients inside each class, so an interactive 9-point sweep never
+// waits behind someone else's backlog. Capacity stays globally bounded —
+// a full queue is still ErrQueueFull backpressure, exactly as before.
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Priority is a job's scheduling class.
+type Priority string
+
+// The two classes: interactive dispatches strictly before bulk. The empty
+// string normalizes to interactive — an unannotated submission is assumed
+// to be a human waiting; callers fanning out big grids should say "bulk".
+const (
+	PriorityInteractive Priority = "interactive"
+	PriorityBulk        Priority = "bulk"
+)
+
+// normalize maps the empty priority to the default.
+func (p Priority) normalize() Priority {
+	if p == "" {
+		return PriorityInteractive
+	}
+	return p
+}
+
+// Valid reports whether p names a known class (after normalization).
+func (p Priority) Valid() bool {
+	switch p.normalize() {
+	case PriorityInteractive, PriorityBulk:
+		return true
+	}
+	return false
+}
+
+// classQueue is one priority class: per-client FIFOs drained round-robin.
+type classQueue struct {
+	byClient map[string][]*Job
+	ring     []string // clients with pending jobs, in arrival order
+	next     int      // ring cursor
+}
+
+func newClassQueue() *classQueue {
+	return &classQueue{byClient: make(map[string][]*Job)}
+}
+
+func (q *classQueue) push(j *Job) {
+	client := j.client
+	if _, ok := q.byClient[client]; !ok {
+		q.ring = append(q.ring, client)
+	}
+	q.byClient[client] = append(q.byClient[client], j)
+}
+
+// pop dequeues the head of the next client's FIFO, advancing the
+// round-robin cursor, or returns nil when the class is empty.
+func (q *classQueue) pop() *Job {
+	if len(q.ring) == 0 {
+		return nil
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	client := q.ring[q.next]
+	fifo := q.byClient[client]
+	j := fifo[0]
+	if len(fifo) == 1 {
+		delete(q.byClient, client)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		if q.next >= len(q.ring) {
+			q.next = 0
+		}
+	} else {
+		q.byClient[client] = fifo[1:]
+		q.next++
+	}
+	return j
+}
+
+// schedQueue is the bounded two-class scheduler the worker pool pulls
+// from. Push never blocks (a full queue errors); Pop blocks until a job or
+// close-and-drained.
+type schedQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	size     int
+	closed   bool
+	classes  map[Priority]*classQueue
+}
+
+func newSchedQueue(capacity int) *schedQueue {
+	q := &schedQueue{
+		capacity: capacity,
+		classes: map[Priority]*classQueue{
+			PriorityInteractive: newClassQueue(),
+			PriorityBulk:        newClassQueue(),
+		},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues j under its priority and client. It reports ErrQueueFull
+// at capacity and ErrDraining after Close.
+func (q *schedQueue) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if q.size >= q.capacity {
+		return ErrQueueFull
+	}
+	class, ok := q.classes[j.priority.normalize()]
+	if !ok {
+		return fmt.Errorf("serve: unknown priority %q", j.priority)
+	}
+	class.push(j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until a job is available — interactive before bulk, clients
+// round-robin within a class — or until the queue is closed and drained
+// (ok false, the worker-exit signal).
+func (q *schedQueue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.size > 0 {
+			for _, p := range []Priority{PriorityInteractive, PriorityBulk} {
+				if j := q.classes[p].pop(); j != nil {
+					q.size--
+					return j, true
+				}
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// Close stops admissions; Pops drain the remaining jobs, then report done.
+func (q *schedQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len returns the number of queued jobs.
+func (q *schedQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func schedJob(id string, p Priority, client string) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Job{ID: id, priority: p.normalize(), client: client,
+		ctx: ctx, cancel: cancel, done: make(chan struct{}), state: StateQueued}
+}
+
+func popID(t *testing.T, q *schedQueue) string {
+	t.Helper()
+	j, ok := q.Pop()
+	if !ok {
+		t.Fatal("Pop reported closed")
+	}
+	return j.ID
+}
+
+// TestSchedPriorityOrder: every queued interactive job dispatches before
+// any bulk job, regardless of arrival order.
+func TestSchedPriorityOrder(t *testing.T) {
+	q := newSchedQueue(8)
+	q.Push(schedJob("b1", PriorityBulk, "x"))
+	q.Push(schedJob("i1", PriorityInteractive, "x"))
+	q.Push(schedJob("b2", PriorityBulk, "x"))
+	q.Push(schedJob("i2", "", "x")) // empty = interactive
+
+	want := []string{"i1", "i2", "b1", "b2"}
+	for _, w := range want {
+		if got := popID(t, q); got != w {
+			t.Fatalf("pop order got %s, want %s", got, w)
+		}
+	}
+}
+
+// TestSchedClientFairness: within a class, clients are served round-robin —
+// a client with a deep backlog cannot starve a client with one job.
+func TestSchedClientFairness(t *testing.T) {
+	q := newSchedQueue(16)
+	for i := 0; i < 6; i++ {
+		q.Push(schedJob(fmt.Sprintf("hog-%d", i), PriorityBulk, "hog"))
+	}
+	q.Push(schedJob("small-0", PriorityBulk, "small"))
+
+	// The small client's single job must dispatch second, not seventh.
+	first, second := popID(t, q), popID(t, q)
+	if first != "hog-0" || second != "small-0" {
+		t.Fatalf("pop order = %s, %s; want hog-0 then small-0", first, second)
+	}
+	// Remaining pops drain the hog in FIFO order.
+	for i := 1; i < 6; i++ {
+		if got := popID(t, q); got != fmt.Sprintf("hog-%d", i) {
+			t.Fatalf("drain pop %d = %s", i, got)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+// TestSchedCapacityAndClose: capacity bounds the whole queue across
+// classes; Close rejects pushes and lets Pops drain.
+func TestSchedCapacityAndClose(t *testing.T) {
+	q := newSchedQueue(2)
+	if err := q.Push(schedJob("a", PriorityInteractive, "c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(schedJob("b", PriorityBulk, "c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(schedJob("c", PriorityInteractive, "c")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity push = %v, want ErrQueueFull", err)
+	}
+	q.Close()
+	if err := q.Push(schedJob("d", PriorityInteractive, "c")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("push after close = %v, want ErrDraining", err)
+	}
+	if got := popID(t, q); got != "a" {
+		t.Fatalf("drain pop = %s", got)
+	}
+	if got := popID(t, q); got != "b" {
+		t.Fatalf("drain pop = %s", got)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on closed empty queue reported a job")
+	}
+}
+
+// TestSchedPopBlocksUntilPush: a blocked Pop wakes on Push.
+func TestSchedPopBlocksUntilPush(t *testing.T) {
+	q := newSchedQueue(4)
+	got := make(chan string, 1)
+	go func() {
+		j, ok := q.Pop()
+		if ok {
+			got <- j.ID
+		} else {
+			got <- ""
+		}
+	}()
+	q.Push(schedJob("wake", PriorityBulk, "c"))
+	if id := <-got; id != "wake" {
+		t.Fatalf("blocked Pop got %q", id)
+	}
+}
+
+// TestPriorityValid covers the accepted class names.
+func TestPriorityValid(t *testing.T) {
+	for _, p := range []Priority{"", PriorityInteractive, PriorityBulk} {
+		if !p.Valid() {
+			t.Errorf("priority %q should be valid", p)
+		}
+	}
+	if Priority("urgent").Valid() {
+		t.Error("unknown priority accepted")
+	}
+}

@@ -23,7 +23,7 @@ func TestServerEndToEnd(t *testing.T) {
 	cl := &Client{BaseURL: "http://" + srv.Addr()}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	sub, err := cl.Submit(ctx, JobSpec{N: 100, Trials: 1, RValues: []float64{6}}, 1)
+	sub, err := cl.Submit(ctx, JobSpec{N: 100, Trials: 1, RValues: []float64{6}}, SubmitOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestServerCloseDrainsInFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, _, err := m.Submit(testSpec(0), 0)
+	st, _, err := m.Submit(testSpec(0), SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

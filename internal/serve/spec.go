@@ -278,17 +278,43 @@ func (s JobSpec) Validate() error {
 // TotalItems returns the job's work-item count (points × trials) on the
 // normalized spec — the tracker's denominator.
 func (s JobSpec) TotalItems() int {
+	return s.PointCount() * s.Normalized().Trials
+}
+
+// PointCount returns the normalized spec's sweep-axis length — the number
+// of grid points, and the denominator of the per-point checkpoint.
+func (s JobSpec) PointCount() int {
 	n := s.Normalized()
-	points := 0
 	switch n.Sweep {
 	case SweepRange:
-		points = len(n.RValues)
+		return len(n.RValues)
 	case SweepDensity:
-		points = len(n.NValues)
+		return len(n.NValues)
 	case SweepLoss:
-		points = len(n.LossValues)
+		return len(n.LossValues)
 	}
-	return points * n.Trials
+	return 0
+}
+
+// PointLabel renders point i's coordinate on the normalized axis ("r=6",
+// "n=5000", "loss=0.2") — the human-readable half of a checkpoint entry.
+func (s JobSpec) PointLabel(i int) string {
+	n := s.Normalized()
+	switch n.Sweep {
+	case SweepRange:
+		if i >= 0 && i < len(n.RValues) {
+			return fmt.Sprintf("r=%g", n.RValues[i])
+		}
+	case SweepDensity:
+		if i >= 0 && i < len(n.NValues) {
+			return fmt.Sprintf("n=%d", n.NValues[i])
+		}
+	case SweepLoss:
+		if i >= 0 && i < len(n.LossValues) {
+			return fmt.Sprintf("loss=%g", n.LossValues[i])
+		}
+	}
+	return fmt.Sprintf("point=%d", i)
 }
 
 // CanonicalJSON renders the normalized spec in its stable serialization:

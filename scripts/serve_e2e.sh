@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# End-to-end crash-resume smoke for ccmserve: start the daemon with a
+# checkpoint dir, submit a sweep, follow its NDJSON stream, kill -9 the
+# process at ~50% of the points, restart on the same dir, resubmit the
+# same spec, and verify the resumed job (a) reports resumed points,
+# (b) finishes, and (c) produces a byte-identical result to an
+# uninterrupted run. Exercises /api/v1/jobs, /stream, /result end to end.
+#
+# Usage: scripts/serve_e2e.sh   (from the repo root; needs go + curl)
+set -euo pipefail
+
+WORK=$(mktemp -d)
+CKPT="$WORK/ckpt"
+mkdir -p "$CKPT"
+PIDFILE="$WORK/pids"
+touch "$PIDFILE"
+cleanup() {
+    while read -r pid; do kill -9 "$pid" 2>/dev/null || true; done <"$PIDFILE"
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# ~8 points x ~0.5s each with one serialized worker: slow enough to kill
+# mid-sweep, fast enough for CI. Seeded, so results are deterministic.
+SPEC='{"spec":{"n":2000,"trials":2,"r_values":[2,3,4,5,6,7,8,9],"seed":7}}'
+POINTS=8
+KILL_AT=$((POINTS / 2))
+
+die() { echo "serve_e2e: FAIL: $*" >&2; exit 1; }
+
+# start_daemon <checkpoint-dir> <logfile> <pidfile>: launches ccmserve on
+# an ephemeral port and echoes the bound address. stdout must be detached
+# from the caller's pipe or $(start_daemon ...) would block on the daemon.
+start_daemon() {
+    local dir=$1 log=$2 pidfile=$3
+    "$WORK/ccmserve" -addr 127.0.0.1:0 -pool 1 -job-workers 1 \
+        -checkpoint-dir "$dir" >/dev/null 2>"$log" &
+    echo $! >"$pidfile"
+    cat "$pidfile" >>"$PIDFILE"
+    for _ in $(seq 1 100); do
+        if grep -q 'listening on' "$log"; then
+            sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$log" | head -1
+            return
+        fi
+        sleep 0.1
+    done
+    die "daemon never reported its address (log: $(cat "$log"))"
+}
+
+submit() { # submit <addr> -> response JSON on stdout
+    curl -s "http://$1/api/v1/jobs" -d "$SPEC"
+}
+
+job_id() { sed -n 's/.*"id":"\([0-9a-f]\{64\}\)".*/\1/p' <<<"$1" | head -1; }
+
+await_result() { # await_result <addr> <id> <outfile>
+    local code
+    for _ in $(seq 1 300); do
+        code=$(curl -s -o "$3" -w '%{http_code}' "http://$1/api/v1/jobs/$2/result")
+        [ "$code" = 200 ] && return
+        sleep 0.2
+    done
+    die "job $2 never finished (last result status $code)"
+}
+
+echo "serve_e2e: building ccmserve"
+go build -o "$WORK/ccmserve" ./cmd/ccmserve
+
+# --- Phase 1: submit, stream, kill at ~50% -------------------------------
+ADDR=$(start_daemon "$CKPT" "$WORK/daemon1.log" "$WORK/daemon1.pid")
+RESP=$(submit "$ADDR")
+ID=$(job_id "$RESP")
+[ -n "$ID" ] || die "no job id in submit response: $RESP"
+echo "serve_e2e: submitted $ID on $ADDR"
+
+# Tail the live stream while the sweep runs; the kill below drops it.
+curl -sN "http://$ADDR/api/v1/jobs/$ID/stream" >"$WORK/stream.ndjson" 2>/dev/null &
+echo $! >>"$PIDFILE"
+
+CKPT_FILE="$CKPT/$ID.ndjson"
+for _ in $(seq 1 600); do
+    LINES=0
+    [ -f "$CKPT_FILE" ] && LINES=$(wc -l <"$CKPT_FILE")
+    [ "$LINES" -ge "$KILL_AT" ] && break
+    sleep 0.05
+done
+[ "$LINES" -ge "$KILL_AT" ] || die "checkpoint never reached $KILL_AT points"
+[ "$LINES" -lt "$POINTS" ] || die "sweep finished before the kill (got $LINES points); spec too fast"
+kill -9 "$(cat "$WORK/daemon1.pid")"
+echo "serve_e2e: killed daemon with $LINES/$POINTS points checkpointed"
+
+grep -q '"event":"point"' "$WORK/stream.ndjson" \
+    || die "stream tail captured no point events"
+
+# --- Phase 2: restart on the same dir, resubmit, resume ------------------
+ADDR=$(start_daemon "$CKPT" "$WORK/daemon2.log" "$WORK/daemon2.pid")
+RESP=$(submit "$ADDR")
+[ "$(job_id "$RESP")" = "$ID" ] || die "resubmit produced a different job id: $RESP"
+RESUMED=$(sed -n 's/.*"resumed_points":\([0-9]*\).*/\1/p' <<<"$RESP")
+[ -n "$RESUMED" ] && [ "$RESUMED" -ge "$KILL_AT" ] \
+    || die "resubmit reports resumed_points=$RESUMED, want >= $KILL_AT: $RESP"
+echo "serve_e2e: resumed with $RESUMED checkpointed points"
+await_result "$ADDR" "$ID" "$WORK/resumed.bin"
+
+# --- Phase 3: uninterrupted reference run, byte-compare ------------------
+mkdir -p "$WORK/ckpt-ref"
+ADDR=$(start_daemon "$WORK/ckpt-ref" "$WORK/daemon3.log" "$WORK/daemon3.pid")
+REF_ID=$(job_id "$(submit "$ADDR")")
+await_result "$ADDR" "$REF_ID" "$WORK/reference.bin"
+
+cmp "$WORK/resumed.bin" "$WORK/reference.bin" \
+    || die "resumed result differs from uninterrupted run"
+echo "serve_e2e: PASS (resumed result byte-identical, $RESUMED points skipped)"
