@@ -41,13 +41,14 @@ bench-sweep:
 	go test -bench=ExperimentQuick -benchtime=1x -run='^$$' .
 
 # The tracked benchmark suite: tracing overhead (core), the bitmap OR-merge
-# hot paths, sweep worker scaling, the -http Tracker bookkeeping, and the
-# serve layer's submission fast paths (content-address hashing, cache hits,
-# warm-cache Submit). The raw `go test -bench` lines plus per-benchmark
-# mean/min/max rollups land in BENCH_observability.json (recover a
-# benchstat input with `jq -r '.benchmarks[].raw'`).
+# hot paths, sweep worker scaling, the -http Tracker bookkeeping, the serve
+# layer's submission fast paths (content-address hashing, cache hits,
+# warm-cache Submit), and the per-point execution path with observability
+# off (pinned at zero allocs) and fully on. The raw `go test -bench` lines
+# plus per-benchmark mean/min/max rollups land in BENCH_observability.json
+# (recover a benchstat input with `jq -r '.benchmarks[].raw'`).
 BENCH_PKGS    = ./internal/core/ ./internal/bitmap/ ./internal/experiment/ ./internal/serve/
-BENCH_PATTERN = 'SessionTracer|Bitmap|SweepWorkers|TrackerObserve|ServeSpecKey|ServeCacheGet|ServeSubmitHit'
+BENCH_PATTERN = 'SessionTracer|Bitmap|SweepWorkers|TrackerObserve|ServeSpecKey|ServeCacheGet|ServeSubmitHit|ServePointDone'
 bench:
 	go test -bench=$(BENCH_PATTERN) -benchmem -count=5 -run='^$$' $(BENCH_PKGS) \
 		| tee /dev/stderr | go run ./internal/tools/benchjson > BENCH_observability.json

@@ -9,21 +9,32 @@
 //	ccmserve -addr :8080 -pool 2 -queue 64 -cache 256 -checkpoint-dir /var/lib/ccmserve
 //	curl -s localhost:8080/api/v1/jobs -d '{"spec":{"n":10000,"trials":5,"r_values":[2,4,6,8,10]}}'
 //	curl -sN localhost:8080/api/v1/jobs/<id>/stream   # NDJSON per-point tail
+//	curl -s localhost:8080/api/v1/jobs/<id>/trace     # lifecycle timeline
 //
 // With -checkpoint-dir set, a killed daemon resumes half-finished sweeps:
 // resubmitting the same spec after a restart recomputes only the points the
-// checkpoint is missing and still produces byte-identical results.
+// checkpoint is missing and still produces byte-identical results. Add
+// -checkpoint-ttl to garbage-collect checkpoint files that no process came
+// back for.
+//
+// Observability: structured logs (-log-level, -log-format) on stderr with
+// X-Request-ID correlation, job lifecycle timelines on /jobs/{id}/trace and
+// mirrored into /events (-events bounds the ring), SLO histograms and
+// per-class queue gauges on /metrics.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"netags/internal/obs"
 	"netags/internal/obs/httpserve"
 	"netags/internal/serve"
 )
@@ -35,38 +46,93 @@ func main() {
 	}
 }
 
+// newLogger builds the daemon logger from the -log-level/-log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text|json)", format)
+	}
+}
+
 // run serves until ctx is canceled or a SIGINT/SIGTERM arrives. If ready
 // is non-nil the bound address is sent on it once listening (test hook).
 func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("ccmserve", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		queueDepth = fs.Int("queue", 64, "bounded job queue depth (full queue answers 429)")
-		pool       = fs.Int("pool", 2, "concurrent sweep jobs (worker pool size)")
-		jobWorkers = fs.Int("job-workers", 0, "per-job experiment worker cap (0 = cores/pool)")
-		cacheCap   = fs.Int("cache", 256, "result cache capacity in entries (LRU; negative = unbounded)")
-		maxJobs    = fs.Int("max-jobs", 1024, "terminal job records to retain for GET /jobs")
-		ckptDir    = fs.String("checkpoint-dir", "", "persist per-point checkpoints here for crash-resumable sweeps (empty = memory only)")
-		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight jobs")
+		addr        = fs.String("addr", ":8080", "listen address")
+		queueDepth  = fs.Int("queue", 64, "bounded job queue depth (full queue answers 429)")
+		pool        = fs.Int("pool", 2, "concurrent sweep jobs (worker pool size)")
+		jobWorkers  = fs.Int("job-workers", 0, "per-job experiment worker cap (0 = cores/pool)")
+		cacheCap    = fs.Int("cache", 256, "result cache capacity in entries (LRU; negative = unbounded)")
+		maxJobs     = fs.Int("max-jobs", 1024, "terminal job records to retain for GET /jobs")
+		ckptDir     = fs.String("checkpoint-dir", "", "persist per-point checkpoints here for crash-resumable sweeps (empty = memory only)")
+		ckptTTL     = fs.Duration("checkpoint-ttl", 0, "purge checkpoint files unreferenced for this long (0 = never)")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight jobs")
+		events      = fs.Int("events", 512, "event ring capacity backing /events (0 disables)")
+		traceEvents = fs.Int("trace-events", 0, "lifecycle trace events retained per job (0 = default 256, negative disables /trace)")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		logFormat   = fs.String("log-format", "text", "log encoding on stderr: text|json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	m := serve.NewManager(serve.Config{
-		QueueDepth:    *queueDepth,
-		Workers:       *pool,
-		JobWorkers:    *jobWorkers,
-		CacheCapacity: *cacheCap,
-		MaxJobs:       *maxJobs,
-		CheckpointDir: *ckptDir,
-	})
-	srv, err := serve.StartServer(*addr, m, httpserve.Options{}, *drain)
+	logger, err := newLogger(*logLevel, *logFormat)
 	if err != nil {
 		return err
 	}
+
+	// The collector aggregates protocol metrics for /metrics; the ring holds
+	// the most recent events for /events — serve lifecycle events included.
+	collector := obs.NewCollector()
+	var ring *obs.Ring
+	sinks := []obs.Tracer{collector}
+	if *events > 0 {
+		ring = obs.NewRing(*events)
+		sinks = append(sinks, ring)
+	}
+
+	m := serve.NewManager(serve.Config{
+		QueueDepth:        *queueDepth,
+		Workers:           *pool,
+		JobWorkers:        *jobWorkers,
+		CacheCapacity:     *cacheCap,
+		MaxJobs:           *maxJobs,
+		CheckpointDir:     *ckptDir,
+		CheckpointTTL:     *ckptTTL,
+		Tracer:            obs.Multi(sinks...),
+		Logger:            logger,
+		TraceEventsPerJob: *traceEvents,
+	})
+	srv, err := serve.StartServer(*addr, m, httpserve.Options{Collector: collector, Ring: ring}, *drain)
+	if err != nil {
+		return err
+	}
+	// The plain banner stays greppable for scripts (serve_e2e.sh parses the
+	// address out of it); everything after startup is structured.
 	fmt.Fprintf(os.Stderr, "ccmserve: listening on %s (pool=%d queue=%d cache=%d)\n",
 		srv.Addr(), *pool, *queueDepth, *cacheCap)
+	logger.Info("ccmserve started",
+		"addr", srv.Addr(), "pool", *pool, "queue", *queueDepth, "cache", *cacheCap,
+		"checkpoint_dir", *ckptDir, "checkpoint_ttl", ckptTTL.String(),
+		"log_level", *logLevel, "log_format", *logFormat)
 	if ready != nil {
 		ready <- srv.Addr()
 	}
@@ -74,10 +140,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
-	fmt.Fprintln(os.Stderr, "ccmserve: draining...")
+	logger.Info("ccmserve draining")
 	if err := srv.Close(); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "ccmserve: drained cleanly")
+	logger.Info("ccmserve drained cleanly")
 	return nil
 }

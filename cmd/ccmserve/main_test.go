@@ -95,4 +95,10 @@ func TestServeBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, nil); err == nil {
 		t.Fatal("unbindable address accepted")
 	}
+	if err := run(context.Background(), []string{"-log-level", "noisy"}, nil); err == nil {
+		t.Fatal("bad log level accepted")
+	}
+	if err := run(context.Background(), []string{"-log-format", "xml"}, nil); err == nil {
+		t.Fatal("bad log format accepted")
+	}
 }

@@ -57,7 +57,8 @@ func histogram(w io.Writer, name, help string, h obs.Hist) {
 	fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.N)
 }
 
-// sample expands a stats.Sample into _count/_mean/_min/_max/_stddev gauges.
+// sample expands a stats.Sample into _count/_mean/_min/_max/_stddev gauges,
+// each its own family with its own HELP/TYPE pair.
 func sample(w io.Writer, name, help string, s stats.Sample) {
 	fmt.Fprintf(w, "# HELP %s_count %s\n# TYPE %s_count gauge\n%s_count %d\n",
 		name, help, name, name, s.N())
@@ -67,6 +68,7 @@ func sample(w io.Writer, name, help string, s stats.Sample) {
 	}{
 		{"mean", s.Mean()}, {"min", s.Min()}, {"max", s.Max()}, {"stddev", s.StdDev()},
 	} {
-		fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %g\n", name, g.suffix, name, g.suffix, g.v)
+		fmt.Fprintf(w, "# HELP %s_%s %s (%s)\n# TYPE %s_%s gauge\n%s_%s %g\n",
+			name, g.suffix, help, g.suffix, name, g.suffix, name, g.suffix, g.v)
 	}
 }

@@ -22,6 +22,8 @@
 //	reader_merge    a per-reader result OR-merged into a combined bitmap
 //	phase           a protocol-level step (GMLE frame, TRP round, search)
 //	slot_batch      a contiguous batch of slots run for one purpose (SICP)
+//	job             a serve-layer job lifecycle transition (admitted, running,
+//	                point completed, resumed, terminal — see internal/serve)
 package obs
 
 import "strconv"
@@ -40,6 +42,7 @@ const (
 	KindReaderMerge
 	KindPhase
 	KindSlotBatch
+	KindJob
 )
 
 // String returns the snake_case name used in JSONL traces.
@@ -63,6 +66,8 @@ func (k Kind) String() string {
 		return "phase"
 	case KindSlotBatch:
 		return "slot_batch"
+	case KindJob:
+		return "job"
 	}
 	return "unknown"
 }
@@ -77,6 +82,8 @@ const (
 	ProtoLoF    = "lof"
 	ProtoTRP    = "trp"
 	ProtoSearch = "search"
+	// ProtoServe labels serve-layer job lifecycle events (KindJob).
+	ProtoServe = "serve"
 )
 
 // Event is one structured trace record. It is a flat value type — no
@@ -89,8 +96,12 @@ type Event struct {
 	Kind Kind
 	// Protocol is the emitting protocol (Proto* constants).
 	Protocol string
-	// Phase labels phase and slot_batch events ("flood", "probe", …).
+	// Phase labels phase and slot_batch events ("flood", "probe", …) and
+	// carries the lifecycle stage of job events ("admitted", "running", …).
 	Phase string
+	// Job is the serve-layer job key a KindJob event belongs to (hex
+	// SHA-256, so it never needs JSON escaping). Empty on simulator events.
+	Job string
 	// Reader identifies the reader (multi-reader deployments) or, for
 	// CLI-level parallel runs, the caller-assigned stream.
 	Reader int
@@ -188,6 +199,7 @@ func (e Event) AppendJSON(b []byte) []byte {
 	b = append(b, '"')
 	b = appendStr(b, "protocol", e.Protocol)
 	b = appendStr(b, "phase", e.Phase)
+	b = appendStr(b, "job", e.Job)
 	b = appendInt(b, "reader", int64(e.Reader))
 	b = appendInt(b, "round", int64(e.Round))
 	b = appendInt(b, "frame_size", int64(e.FrameSize))
@@ -215,7 +227,7 @@ func (e Event) AppendJSON(b []byte) []byte {
 }
 
 // The append helpers omit zero values; the protocol/phase strings are
-// package constants and never need escaping.
+// package constants and the job key is hex, so none need escaping.
 
 func appendStr(b []byte, key, v string) []byte {
 	if v == "" {

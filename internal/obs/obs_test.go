@@ -28,7 +28,7 @@ func TestEventAppendJSONOmitsZeros(t *testing.T) {
 
 func TestEventAppendJSONAllFields(t *testing.T) {
 	ev := Event{
-		Kind: KindSessionEnd, Protocol: ProtoCCM, Phase: "x", Reader: 1,
+		Kind: KindSessionEnd, Protocol: ProtoCCM, Phase: "x", Job: "ab12", Reader: 1,
 		Round: 2, FrameSize: 512, Slots: 3, Transmitters: 4, Bits: 5,
 		NewBusy: 6, KnownBusy: 7, CheckSlots: 8, Count: 9, Pending: true,
 		Tags: 10, Tiers: 11, Rounds: 12, Truncated: true, ShortSlots: 13,
@@ -39,15 +39,16 @@ func TestEventAppendJSONAllFields(t *testing.T) {
 	if err := json.Unmarshal(ev.AppendJSON(nil), &m); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	// 26 struct fields, all non-zero, all present.
-	if len(m) != 26 {
-		t.Errorf("got %d JSON fields, want 26: %v", len(m), m)
+	// 27 struct fields, all non-zero, all present.
+	if len(m) != 27 {
+		t.Errorf("got %d JSON fields, want 27: %v", len(m), m)
 	}
 }
 
 func TestKindStrings(t *testing.T) {
 	kinds := []Kind{KindSessionStart, KindFrame, KindIndicator, KindCheck,
-		KindRound, KindSessionEnd, KindReaderMerge, KindPhase, KindSlotBatch}
+		KindRound, KindSessionEnd, KindReaderMerge, KindPhase, KindSlotBatch,
+		KindJob}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

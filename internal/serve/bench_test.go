@@ -2,8 +2,13 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"testing"
+
+	"netags/internal/obs"
 )
 
 // BenchmarkServeSpecKey: the cost of content-addressing one submission
@@ -64,5 +69,42 @@ func BenchmarkServeSubmitHit(b *testing.B) {
 		if err != nil || outcome != OutcomeCached {
 			b.Fatalf("submit = %v, %v", outcome, err)
 		}
+	}
+}
+
+// BenchmarkServePointDoneDisabled is the per-point execution hot path with
+// every observability sink off: tracing disabled, no tracer, logger at the
+// default (discard) level. The alloc count is the contract — the regression
+// gate pins it at zero, so lifecycle tracing and structured logging cannot
+// tax sweeps that did not opt in.
+func BenchmarkServePointDoneDisabled(b *testing.B) {
+	m := NewManager(Config{Workers: 1, TraceEventsPerJob: -1,
+		run: func(ctx context.Context, s JobSpec, w int, h runHooks) error { return nil }})
+	defer m.Shutdown(context.Background())
+	j := &Job{ID: "bench-point-disabled", points: 1 << 30}
+	row := json.RawMessage(`{"r":2,"mean_sent":42.5}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.pointCompleted(j, PointRecord{Index: i, Label: "r=2", Row: row, ElapsedMS: 1.25})
+	}
+}
+
+// BenchmarkServePointDoneEnabled is the same path with everything on:
+// trace store, ring mirroring, and a debug-level JSON logger. Tracked so
+// the cost of full observability stays visible and bounded, but not pinned
+// to zero — this path is opt-in.
+func BenchmarkServePointDoneEnabled(b *testing.B) {
+	ring := obs.NewRing(1024)
+	m := NewManager(Config{Workers: 1, Tracer: ring,
+		Logger: slog.New(slog.NewJSONHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelDebug})),
+		run:    func(ctx context.Context, s JobSpec, w int, h runHooks) error { return nil }})
+	defer m.Shutdown(context.Background())
+	j := &Job{ID: "bench-point-enabled", points: 1 << 30}
+	row := json.RawMessage(`{"r":2,"mean_sent":42.5}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.pointCompleted(j, PointRecord{Index: i, Label: "r=2", Row: row, ElapsedMS: 1.25})
 	}
 }

@@ -20,8 +20,10 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // PointRecord is one completed sweep point: checkpoint line, stream event
@@ -63,6 +65,7 @@ type Checkpoints struct {
 	jobs map[string]*jobCheckpoint
 
 	diskErrors atomic.Int64
+	purged     atomic.Int64
 }
 
 // NewCheckpoints returns a store persisting under dir ("" = memory only).
@@ -140,15 +143,15 @@ func (c *Checkpoints) Restore(key string, points int) ([]bool, int) {
 }
 
 // Append records one completed point: first write per (key, index) wins —
-// the exactly-once-per-point contract — later duplicates are dropped. The
-// record lands in memory, on disk (best-effort), and in every live
-// subscriber's channel.
-func (c *Checkpoints) Append(key string, rec PointRecord) {
+// the exactly-once-per-point contract — later duplicates are dropped
+// (stored false). The record lands in memory, on disk (best-effort), and in
+// every live subscriber's channel; seq is the stamped completion number.
+func (c *Checkpoints) Append(key string, rec PointRecord) (seq int, stored bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	j := c.getLocked(key)
 	if j.have[rec.Index] {
-		return
+		return len(j.records), false
 	}
 	rec.Seq = len(j.records) + 1
 	j.records = append(j.records, rec)
@@ -167,6 +170,7 @@ func (c *Checkpoints) Append(key string, rec PointRecord) {
 			delete(j.subs, id)
 		}
 	}
+	return rec.Seq, true
 }
 
 func (c *Checkpoints) appendDiskLocked(key string, j *jobCheckpoint, rec PointRecord) {
@@ -324,18 +328,64 @@ func (c *Checkpoints) closeFileLocked(j *jobCheckpoint) {
 	}
 }
 
+// GC purges stale checkpoint files: NDJSON files under the store's dir
+// whose key has no in-memory state in this process (i.e. leftovers from
+// earlier process lifetimes whose spec was never resubmitted) and whose
+// last modification is older than ttl. Files belonging to jobs this
+// process knows about — running, canceled-but-resumable, or finished —
+// are never touched; their lifecycle (Finish/Forget) owns them. It
+// returns the number of files removed and counts them in PurgedFiles.
+// A non-positive ttl or a memory-only store is a no-op.
+func (c *Checkpoints) GC(ttl time.Duration) int {
+	if c.dir == "" || ttl <= 0 {
+		return 0
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-ttl)
+	purged := 0
+	for _, e := range entries {
+		name := e.Name()
+		key, ok := strings.CutSuffix(name, ".ndjson")
+		if !ok || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		c.mu.Lock()
+		_, live := c.jobs[key]
+		if !live {
+			if os.Remove(filepath.Join(c.dir, name)) == nil {
+				purged++
+			}
+		}
+		c.mu.Unlock()
+	}
+	c.purged.Add(int64(purged))
+	return purged
+}
+
 // CheckpointStats is a point-in-time view of the store.
 type CheckpointStats struct {
-	Jobs       int   `json:"jobs"`
-	Points     int   `json:"points"`
-	DiskErrors int64 `json:"disk_errors"`
+	Jobs        int   `json:"jobs"`
+	Points      int   `json:"points"`
+	DiskErrors  int64 `json:"disk_errors"`
+	PurgedFiles int64 `json:"purged_files"`
 }
 
 // Stats snapshots the store counters.
 func (c *Checkpoints) Stats() CheckpointStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := CheckpointStats{Jobs: len(c.jobs), DiskErrors: c.diskErrors.Load()}
+	s := CheckpointStats{
+		Jobs:        len(c.jobs),
+		DiskErrors:  c.diskErrors.Load(),
+		PurgedFiles: c.purged.Load(),
+	}
 	for _, j := range c.jobs {
 		s.Points += len(j.records)
 	}

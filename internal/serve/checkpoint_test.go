@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func rec(index int) PointRecord {
@@ -169,5 +170,65 @@ func TestCheckpointForget(t *testing.T) {
 	}
 	if s := c.Stats(); s.Jobs != 0 || s.DiskErrors != 0 {
 		t.Errorf("stats after Forget = %+v", s)
+	}
+}
+
+// TestCheckpointGC: only stale files whose key has no in-memory state are
+// purged — a crash leftover nobody resubmitted goes, a live job's file and
+// a fresh leftover stay.
+func TestCheckpointGC(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCheckpoints(dir)
+	old := time.Now().Add(-2 * time.Hour)
+
+	// Live job with an old file: retained because the key is in memory.
+	c.Append("live", rec(0))
+	livePath := filepath.Join(dir, "live.ndjson")
+	if err := os.Chtimes(livePath, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// Stale leftover from a dead process: purged.
+	stalePath := filepath.Join(dir, "stale.ndjson")
+	if err := os.WriteFile(stalePath, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(stalePath, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh leftover inside the TTL: retained.
+	freshPath := filepath.Join(dir, "fresh.ndjson")
+	if err := os.WriteFile(freshPath, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A non-checkpoint file is never touched.
+	otherPath := filepath.Join(dir, "README.txt")
+	if err := os.WriteFile(otherPath, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(otherPath, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := c.GC(time.Hour); n != 1 {
+		t.Fatalf("GC purged %d files, want 1", n)
+	}
+	for _, p := range []string{livePath, freshPath, otherPath} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("GC removed %s: %v", p, err)
+		}
+	}
+	if _, err := os.Stat(stalePath); !os.IsNotExist(err) {
+		t.Errorf("stale file survived GC: %v", err)
+	}
+	if s := c.Stats(); s.PurgedFiles != 1 {
+		t.Errorf("PurgedFiles = %d, want 1", s.PurgedFiles)
+	}
+
+	// Disabled paths: no dir, or no TTL.
+	if n := NewCheckpoints("").GC(time.Hour); n != 0 {
+		t.Errorf("dirless GC purged %d", n)
+	}
+	if n := c.GC(0); n != 0 {
+		t.Errorf("ttl-0 GC purged %d", n)
 	}
 }

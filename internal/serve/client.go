@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -27,6 +28,9 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Logger receives the client's lifecycle logs: backpressure retries at
+	// Warn, stream reconnects at Warn, terminal awaits at Info. nil discards.
+	Logger *slog.Logger
 }
 
 func (c *Client) http() *http.Client {
@@ -34,6 +38,13 @@ func (c *Client) http() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+func (c *Client) log() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // APIError is a non-2xx reply from the server.
@@ -149,9 +160,10 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec, opts SubmitOptions) (
 // SubmitRetry submits, and on queue backpressure waits out the server's
 // Retry-After hint and tries again — until admission or ctx cancels. The
 // wait between attempts respects ctx: cancellation interrupts the sleep
-// immediately. Errors other than ErrBusy return as-is.
+// immediately, and the returned error then reports how many submissions
+// were attempted. Errors other than ErrBusy return as-is.
 func (c *Client) SubmitRetry(ctx context.Context, spec JobSpec, opts SubmitOptions) (SubmitResponse, error) {
-	for {
+	for attempts := 1; ; attempts++ {
 		out, err := c.Submit(ctx, spec, opts)
 		var busy *ErrBusy
 		if !errors.As(err, &busy) {
@@ -161,11 +173,13 @@ func (c *Client) SubmitRetry(ctx context.Context, spec JobSpec, opts SubmitOptio
 		if backoff <= 0 {
 			backoff = time.Second
 		}
+		c.log().Warn("submit backpressure; retrying",
+			"attempt", attempts, "backoff", backoff.String())
 		t := time.NewTimer(backoff)
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return SubmitResponse{}, ctx.Err()
+			return SubmitResponse{}, fmt.Errorf("serve client: submit abandoned after %d attempt(s): %w", attempts, ctx.Err())
 		case <-t.C:
 		}
 	}
@@ -292,16 +306,25 @@ func (s *Stream) Close() error { return s.body.Close() }
 // cancels or the server rejects the stream (e.g. unknown job).
 func (c *Client) Await(ctx context.Context, id string, onPoint func(PointRecord)) (JobStatus, error) {
 	last := 0
+	reconnects := 0
 	for {
 		st, done, err := c.awaitOnce(ctx, id, &last, onPoint)
 		if done {
+			if err == nil {
+				c.log().Info("job await finished",
+					"job", id, "state", string(st.State), "reconnects", reconnects)
+			}
 			return st, err
 		}
 		if ctx.Err() != nil {
 			return JobStatus{}, ctx.Err()
 		}
 		// Connection dropped mid-stream; back off briefly and resume from
-		// the last seq delivered.
+		// the last seq delivered. The resumed stream carries our cursor, so
+		// the server marks the reconnect on the job's trace timeline.
+		reconnects++
+		c.log().Warn("stream dropped; reconnecting",
+			"job", id, "after_seq", last, "reconnects", reconnects, "err", fmt.Sprint(err))
 		t := time.NewTimer(100 * time.Millisecond)
 		select {
 		case <-ctx.Done():

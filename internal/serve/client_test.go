@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSubmitRetryReportsAttempts: when the context expires while waiting
+// out backpressure, the error says how many submissions were attempted.
+func TestSubmitRetryReportsAttempts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, "queue full")
+	}))
+	defer srv.Close()
+
+	var logBuf bytes.Buffer
+	cl := &Client{BaseURL: srv.URL, Logger: slog.New(slog.NewTextHandler(&logBuf, nil))}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := cl.SubmitRetry(ctx, testSpec(0), SubmitOptions{})
+	if err == nil {
+		t.Fatal("SubmitRetry succeeded against an always-busy server")
+	}
+	if !strings.Contains(err.Error(), "after 1 attempt") {
+		t.Fatalf("error does not carry the attempt count: %v", err)
+	}
+	if !strings.Contains(logBuf.String(), "submit backpressure") {
+		t.Fatalf("retry not logged: %q", logBuf.String())
+	}
+}
+
+// TestClientNilLoggerDiscards pins that an unset Logger is safe.
+func TestClientNilLoggerDiscards(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, "queue full")
+	}))
+	defer srv.Close()
+	cl := &Client{BaseURL: srv.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cl.SubmitRetry(ctx, testSpec(0), SubmitOptions{}); err == nil {
+		t.Fatal("expected context-expiry error")
+	}
+}

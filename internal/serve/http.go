@@ -5,6 +5,7 @@
 //	                                 status ∈ cached | queued | running
 //	GET    /api/v1/jobs              list retained job records
 //	GET    /api/v1/jobs/{id}         one job's status, progress, and ETA
+//	GET    /api/v1/jobs/{id}/trace   lifecycle timeline with per-stage durations
 //	GET    /api/v1/jobs/{id}/result  the rendered result JSON (202 pending)
 //	GET    /api/v1/jobs/{id}/stream  NDJSON tail of per-point results;
 //	                                 resume with ?after=SEQ or Last-Event-ID
@@ -17,8 +18,13 @@
 // server answers 503 (code "draining").
 //
 // The mux also serves /metrics (collector snapshot + serve cache, queue,
-// and checkpoint counters), /progress (live per-job tracker view), /events,
-// /healthz, /readyz, and /debug/pprof/ from internal/obs/httpserve.
+// checkpoint, SLO-histogram, and HTTP-latency families), /progress (live
+// per-job tracker view), /events, /healthz, /readyz, and /debug/pprof/ from
+// internal/obs/httpserve.
+//
+// The whole mux sits behind one middleware wrapper (middleware.go):
+// X-Request-ID injection/propagation, panic recovery, per-route/per-status
+// latency histograms, and structured access logs.
 package serve
 
 import (
@@ -116,7 +122,7 @@ func NewHandler(m *Manager, obsOpts httpserve.Options) http.Handler {
 	// the legacy unversioned aliases.
 	registerJobs(mux, m, APIPrefix)
 	registerJobs(mux, m, "")
-	return mux
+	return withMiddleware(mux, m.log, m.http)
 }
 
 func registerJobs(mux *http.ServeMux, m *Manager, prefix string) {
@@ -135,6 +141,9 @@ func registerJobs(mux *http.ServeMux, m *Manager, prefix string) {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET "+prefix+"/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		handleTrace(m, w, r)
 	})
 	mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		handleResult(m, w, r)
@@ -192,6 +201,17 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, SubmitResponse{ID: st.ID, Status: outcome, Job: st})
 }
 
+// handleTrace serves a job's lifecycle timeline. 404 covers three cases
+// with one answer: unknown job, trace evicted, tracing disabled.
+func handleTrace(m *Manager, w http.ResponseWriter, r *http.Request) {
+	tl, ok := m.JobTrace(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no trace for job (unknown, evicted, or tracing disabled)")
+		return
+	}
+	writeJSON(w, http.StatusOK, tl)
+}
+
 func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
 	payload, st, ok := m.Result(r.PathValue("id"))
 	switch {
@@ -239,6 +259,13 @@ func handleStream(m *Manager, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		after = n
+	}
+	if after > 0 {
+		// A cursor means the client is resuming a broken stream — worth a
+		// mark on the job's timeline.
+		m.emitJob(id, StageStreamReconnect, "", after, 0, "")
+		m.log.Debug("stream reconnect",
+			"job", id, "after", after, "request_id", RequestID(r.Context()))
 	}
 
 	j := m.jobRecord(id)

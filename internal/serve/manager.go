@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -68,8 +69,30 @@ type Config struct {
 	// checkpoints only (resume works within one process lifetime).
 	CheckpointDir string
 	// Tracer, if non-nil, receives every protocol run's event stream (wire
-	// the server's obs.Collector/Ring here). Must be concurrency-safe.
+	// the server's obs.Collector/Ring here) plus the manager's own job
+	// lifecycle events (obs.KindJob) — so /events shows serve activity
+	// alongside sim activity. Must be concurrency-safe.
 	Tracer obs.Tracer
+	// Logger receives the manager's structured logs. nil discards them;
+	// per-point logs are emitted at Debug, lifecycle transitions at Info,
+	// rejections at Warn — so at the default Info level the per-point
+	// execution path performs no logging work beyond one Enabled check.
+	Logger *slog.Logger
+	// TraceEventsPerJob bounds one job's lifecycle timeline (0 = default
+	// 256 events: a verbatim head plus a ring of the most recent; negative
+	// disables lifecycle tracing entirely — GET /jobs/{id}/trace answers
+	// 404 and the per-point path skips the store).
+	TraceEventsPerJob int
+	// TraceJobs bounds how many job timelines are retained (0 = 1024).
+	TraceJobs int
+	// CheckpointTTL, when positive and CheckpointDir is set, purges
+	// checkpoint NDJSON files left by earlier process lifetimes once they
+	// go unreferenced for this long — on startup and every
+	// CheckpointGCInterval. Zero disables the GC.
+	CheckpointTTL time.Duration
+	// CheckpointGCInterval is the purge cadence (0 = TTL/4, clamped to
+	// [1min, 1h]).
+	CheckpointGCInterval time.Duration
 
 	// run overrides job execution in tests. nil means runSpecHooked. The
 	// contract: call h.pointDone once per non-skipped point with its row,
@@ -96,6 +119,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.CheckpointGCInterval <= 0 && c.CheckpointTTL > 0 {
+		c.CheckpointGCInterval = c.CheckpointTTL / 4
+		if c.CheckpointGCInterval < time.Minute {
+			c.CheckpointGCInterval = time.Minute
+		}
+		if c.CheckpointGCInterval > time.Hour {
+			c.CheckpointGCInterval = time.Hour
+		}
 	}
 	if c.run == nil {
 		c.run = runSpecHooked
@@ -129,6 +164,7 @@ type Job struct {
 	workers  int
 	priority Priority
 	client   string
+	points   int    // sweep-axis length (the N of "point k/N")
 	skip     []bool // checkpointed points to not recompute (resume)
 	resumed  int    // how many points the checkpoint restored
 	tracker  *experiment.Tracker
@@ -244,12 +280,18 @@ type Manager struct {
 	cache *Cache
 	ckpt  *Checkpoints
 	sched *schedQueue
+	log   *slog.Logger
+	trace *TraceStore // nil when lifecycle tracing is disabled
+	slo   *sloHists
+	http  *httpHists
+	gcOff chan struct{} // closes to stop the checkpoint GC loop
 
 	mu       sync.Mutex
 	jobs     map[string]*Job // every retained record, by id (= spec key)
 	inflight map[string]*Job // queued/running only — the singleflight map
 	order    []string        // submission order for GET /jobs
-	draining bool
+
+	draining atomic.Bool
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -262,7 +304,8 @@ type Manager struct {
 	running  atomic.Int64 // jobs currently executing
 }
 
-// NewManager starts cfg.Workers pool goroutines and returns the manager.
+// NewManager starts cfg.Workers pool goroutines (plus, when configured, a
+// checkpoint-GC loop) and returns the manager.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
@@ -270,14 +313,69 @@ func NewManager(cfg Config) *Manager {
 		cache:    NewCache(cfg.CacheCapacity),
 		ckpt:     NewCheckpoints(cfg.CheckpointDir),
 		sched:    newSchedQueue(cfg.QueueDepth),
+		log:      cfg.Logger,
+		slo:      newSLOHists(),
+		http:     newHTTPHists(),
+		gcOff:    make(chan struct{}),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
+	}
+	if cfg.TraceEventsPerJob >= 0 {
+		m.trace = NewTraceStore(cfg.TraceEventsPerJob, cfg.TraceJobs)
+	}
+	if cfg.CheckpointTTL > 0 && cfg.CheckpointDir != "" {
+		if n := m.ckpt.GC(cfg.CheckpointTTL); n > 0 {
+			m.log.Info("checkpoint gc: purged stale files on startup",
+				"purged", n, "ttl", cfg.CheckpointTTL.String())
+		}
+		go m.checkpointGCLoop()
 	}
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
 	return m
+}
+
+// checkpointGCLoop purges stale checkpoint files every GC interval until
+// Shutdown.
+func (m *Manager) checkpointGCLoop() {
+	t := time.NewTicker(m.cfg.CheckpointGCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.gcOff:
+			return
+		case <-t.C:
+			if n := m.ckpt.GC(m.cfg.CheckpointTTL); n > 0 {
+				m.log.Info("checkpoint gc: purged stale files",
+					"purged", n, "ttl", m.cfg.CheckpointTTL.String())
+			}
+		}
+	}
+}
+
+// Trace exposes the lifecycle trace store (nil when tracing is disabled).
+func (m *Manager) Trace() *TraceStore { return m.trace }
+
+// JobTrace renders job id's lifecycle timeline; ok is false when the job is
+// untraced (unknown, pruned, or tracing disabled).
+func (m *Manager) JobTrace(id string) (TraceTimeline, bool) {
+	return m.trace.Timeline(id)
+}
+
+// emitJob records one lifecycle transition: into the bounded trace store,
+// mirrored to the configured Tracer as an obs.KindJob event (so /events
+// interleaves serve activity with sim activity), both skipped when
+// disabled. Count carries k, Rounds carries n.
+func (m *Manager) emitJob(id, stage string, class Priority, k, n int, detail string) {
+	m.trace.Append(id, TraceEvent{Stage: stage, Class: class, K: k, N: n, Detail: detail})
+	if t := m.cfg.Tracer; t != nil {
+		t.Trace(obs.Event{
+			Kind: obs.KindJob, Protocol: obs.ProtoServe, Phase: stage,
+			Job: id, Count: k, Rounds: n,
+		})
+	}
 }
 
 // Cache exposes the result cache (for /metrics wiring and tests).
@@ -290,9 +388,7 @@ func (m *Manager) Checkpoints() *Checkpoints { return m.ckpt }
 // Accepting reports whether new submissions are admitted — the /readyz
 // source; it flips false at the start of a graceful drain.
 func (m *Manager) Accepting() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return !m.draining
+	return !m.draining.Load()
 }
 
 // SubmitOutcome tells a client what its POST did.
@@ -335,7 +431,9 @@ func (m *Manager) Submit(spec JobSpec, opts SubmitOptions) (JobStatus, SubmitOut
 	defer m.mu.Unlock()
 
 	// Content-addressed fast path: the result already exists, byte-exact.
+	// No lifecycle transition happens, so nothing lands in the trace.
 	if _, ok := m.cache.Get(key); ok {
+		m.log.Debug("submit served from cache", "job", key, "sweep", norm.Sweep)
 		if j, ok := m.jobs[key]; ok {
 			return j.Status(), OutcomeCached, nil
 		}
@@ -349,8 +447,13 @@ func (m *Manager) Submit(spec JobSpec, opts SubmitOptions) (JobStatus, SubmitOut
 		m.deduped.Add(1)
 		j.mu.Lock()
 		j.dedup++
+		dedup := j.dedup
 		state := j.state
 		j.mu.Unlock()
+		m.emitJob(key, StageReceived, "", 0, 0, "")
+		m.emitJob(key, StageDeduplicated, "", int(dedup), 0, "")
+		m.log.Debug("submit deduplicated onto in-flight job",
+			"job", key, "duplicates", dedup, "state", string(state))
 		out := OutcomeQueued
 		if state == StateRunning {
 			out = OutcomeRunning
@@ -358,7 +461,10 @@ func (m *Manager) Submit(spec JobSpec, opts SubmitOptions) (JobStatus, SubmitOut
 		return j.Status(), out, nil
 	}
 
-	if m.draining {
+	if m.draining.Load() {
+		m.emitJob(key, StageReceived, "", 0, 0, "")
+		m.emitJob(key, StageRejected, "", 0, 0, CodeDraining)
+		m.log.Warn("submit rejected: draining", "job", key)
 		return JobStatus{}, "", ErrDraining
 	}
 
@@ -370,6 +476,7 @@ func (m *Manager) Submit(spec JobSpec, opts SubmitOptions) (JobStatus, SubmitOut
 		ID: key, Spec: norm, workers: workers,
 		priority: opts.Priority.normalize(),
 		client:   opts.Client,
+		points:   points,
 		skip:     skip, resumed: resumed,
 		tracker: experiment.NewTracker(),
 		ctx:     ctx, cancel: cancel,
@@ -385,13 +492,25 @@ func (m *Manager) Submit(spec JobSpec, opts SubmitOptions) (JobStatus, SubmitOut
 	}
 	j.tracker.SetTotal(total)
 
+	m.emitJob(key, StageReceived, j.priority, 0, points, "")
 	if err := m.sched.Push(j); err != nil {
 		cancel()
 		if errors.Is(err, ErrQueueFull) {
 			m.rejected.Add(1)
+			m.emitJob(key, StageRejected, j.priority, 0, 0, CodeQueueFull)
+			m.log.Warn("submit rejected: queue full",
+				"job", key, "class", string(j.priority), "client", j.client,
+				"queue_depth", m.cfg.QueueDepth)
 		}
 		return JobStatus{}, "", err
 	}
+	if resumed > 0 {
+		m.emitJob(key, StageCheckpointRestored, j.priority, resumed, points, "")
+	}
+	m.emitJob(key, StageAdmitted, j.priority, 0, points, "")
+	m.log.Info("job admitted",
+		"job", key, "sweep", norm.Sweep, "class", string(j.priority),
+		"client", j.client, "points", points, "resumed_points", resumed)
 	m.resumed.Add(int64(resumed))
 	if _, known := m.jobs[key]; !known {
 		m.order = append(m.order, key)
@@ -419,6 +538,7 @@ func (m *Manager) pruneLocked() {
 		if excess > 0 && j.State().Terminal() {
 			delete(m.jobs, id)
 			m.ckpt.Forget(id)
+			m.trace.Forget(id)
 			excess--
 			continue
 		}
@@ -444,20 +564,29 @@ func (m *Manager) worker() {
 // assembled from the full checkpoint row set (restored + fresh) — one
 // assembly path, so resumed and uninterrupted runs emit identical bytes.
 func (m *Manager) runJob(j *Job) {
+	queueWait := time.Since(j.submitted)
 	if j.ctx.Err() != nil || !j.markRunning() {
 		// Canceled while queued (DELETE or drain): settle and move on.
-		j.finish(StateCanceled, "canceled before execution")
+		if j.finish(StateCanceled, "canceled before execution") {
+			m.finishJobObs(j, StateCanceled, "canceled before execution")
+		}
 		m.ckpt.Release(j.ID)
 		m.settle(j)
 		return
 	}
+	m.slo.observeQueueWait(j.priority, queueWait)
+	m.emitJob(j.ID, StageScheduled, j.priority, int(ms(queueWait)), 0, "")
+	m.emitJob(j.ID, StageRunning, j.priority, 0, 0, "")
+	m.log.Info("job running",
+		"job", j.ID, "class", string(j.priority), "queue_wait_ms", ms(queueWait),
+		"workers", j.workers)
 	m.running.Add(1)
 	err := m.cfg.run(j.ctx, j.Spec, j.workers, runHooks{
 		observe: j.tracker.Wrap(nil),
 		tracer:  m.cfg.Tracer,
 		skip:    j.skip,
 		pointDone: func(rec PointRecord) {
-			m.ckpt.Append(j.ID, rec)
+			m.pointCompleted(j, rec)
 		},
 	})
 	m.running.Add(-1)
@@ -469,12 +598,82 @@ func (m *Manager) runJob(j *Job) {
 		// The checkpoint keeps everything completed so far; the next
 		// submission of this spec resumes from it.
 		m.ckpt.Release(j.ID)
-		j.finish(StateCanceled, fmt.Sprintf("canceled: %v", err))
+		msg := fmt.Sprintf("canceled: %v", err)
+		if j.finish(StateCanceled, msg) {
+			m.finishJobObs(j, StateCanceled, msg)
+		}
 	default:
 		m.ckpt.Release(j.ID)
-		j.finish(StateFailed, err.Error())
+		if j.finish(StateFailed, err.Error()) {
+			m.finishJobObs(j, StateFailed, err.Error())
+		}
 	}
 	m.settle(j)
+}
+
+// pointCompleted is the per-point hot path: checkpoint the record, observe
+// its compute time, and — only when the respective sink is enabled — trace
+// and log the completion. With tracing disabled and logging at the default
+// Info level this adds zero allocations over the checkpoint append itself
+// (pinned by BenchmarkServePointDoneDisabled).
+func (m *Manager) pointCompleted(j *Job, rec PointRecord) {
+	seq, stored := m.ckpt.Append(j.ID, rec)
+	if !stored {
+		return
+	}
+	m.slo.observePoint(rec.ElapsedMS)
+	if m.trace != nil {
+		m.trace.Append(j.ID, TraceEvent{Stage: StagePointCompleted, K: seq, N: j.points})
+	}
+	if t := m.cfg.Tracer; t != nil {
+		t.Trace(obs.Event{
+			Kind: obs.KindJob, Protocol: obs.ProtoServe, Phase: StagePointCompleted,
+			Job: j.ID, Count: seq, Rounds: j.points,
+		})
+	}
+	if m.log.Enabled(context.Background(), slog.LevelDebug) {
+		m.log.LogAttrs(context.Background(), slog.LevelDebug, "point completed",
+			slog.String("job", j.ID), slog.Int("seq", seq), slog.Int("points", j.points),
+			slog.String("label", rec.Label), slog.Float64("elapsed_ms", rec.ElapsedMS))
+	}
+}
+
+// finishJobObs records a job's terminal transition: the end-to-end and
+// execution SLO histograms, the terminal trace/ring event (stage drained
+// when a shutdown interrupted the job), and the terminal log line.
+func (m *Manager) finishJobObs(j *Job, state JobState, detail string) {
+	j.mu.Lock()
+	submitted, started, finished := j.submitted, j.started, j.finished
+	j.mu.Unlock()
+	if finished.IsZero() {
+		finished = time.Now()
+	}
+	e2e := finished.Sub(submitted)
+	m.slo.observeEndToEnd(e2e)
+	var exec time.Duration
+	if !started.IsZero() {
+		exec = finished.Sub(started)
+		m.slo.observeExec(exec)
+	}
+	stage := StageCompleted
+	switch state {
+	case StateFailed:
+		stage = StageFailed
+	case StateCanceled:
+		stage = StageCanceled
+		if m.draining.Load() {
+			stage = StageDrained
+		}
+	}
+	m.emitJob(j.ID, stage, j.priority, int(ms(e2e)), 0, detail)
+	level := slog.LevelInfo
+	if state == StateFailed {
+		level = slog.LevelError
+	}
+	m.log.LogAttrs(context.Background(), level, "job "+stage,
+		slog.String("job", j.ID), slog.String("class", string(j.priority)),
+		slog.Int64("e2e_ms", ms(e2e)), slog.Int64("exec_ms", ms(exec)),
+		slog.String("detail", detail))
 }
 
 // completeJob assembles and caches the final payload from the job's
@@ -483,18 +682,25 @@ func (m *Manager) completeJob(j *Job) {
 	rows, ok := m.ckpt.Rows(j.ID, j.Spec.PointCount())
 	if !ok {
 		m.ckpt.Release(j.ID)
-		j.finish(StateFailed, "sweep finished with missing points in checkpoint")
+		const msg = "sweep finished with missing points in checkpoint"
+		if j.finish(StateFailed, msg) {
+			m.finishJobObs(j, StateFailed, msg)
+		}
 		return
 	}
 	payload, err := assemblePayload(j.ID, j.Spec, rows)
 	if err != nil {
 		m.ckpt.Release(j.ID)
-		j.finish(StateFailed, err.Error())
+		if j.finish(StateFailed, err.Error()) {
+			m.finishJobObs(j, StateFailed, err.Error())
+		}
 		return
 	}
 	m.cache.Put(j.ID, payload)
 	m.ckpt.Finish(j.ID)
-	j.finish(StateDone, "")
+	if j.finish(StateDone, "") {
+		m.finishJobObs(j, StateDone, "")
+	}
 }
 
 // settle removes a terminal job from the singleflight map.
@@ -574,11 +780,13 @@ func (m *Manager) Cancel(id string) (JobStatus, bool) {
 	}
 	if j.State() == StateQueued {
 		if j.finish(StateCanceled, "canceled by request") {
+			m.finishJobObs(j, StateCanceled, "canceled by request")
 			m.ckpt.Release(id)
 			m.settle(j)
 		}
 		return j.Status(), true
 	}
+	m.log.Info("job cancel requested", "job", id, "state", string(j.State()))
 	j.cancel()
 	return j.Status(), true
 }
@@ -592,14 +800,18 @@ func (m *Manager) Cancel(id string) (JobStatus, bool) {
 // same error (the ctx error when the deadline forced cancellation).
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.closeOnce.Do(func() {
+		m.draining.Store(true)
+		close(m.gcOff)
+		m.log.Info("drain started", "queued", m.sched.Len(), "running", m.running.Load())
 		m.mu.Lock()
-		m.draining = true
 		// Reject everything still waiting for a worker. The records stay
 		// (clients polling GET /jobs/{id} see "canceled"), the scheduler
 		// entries are skipped by the workers.
 		for _, j := range m.inflight {
 			if j.State() == StateQueued {
-				j.finish(StateCanceled, "rejected: server shutting down")
+				if j.finish(StateCanceled, "rejected: server shutting down") {
+					m.finishJobObs(j, StateCanceled, "rejected: server shutting down")
+				}
 			}
 		}
 		m.sched.Close()
@@ -631,6 +843,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			}
 		}
 		m.mu.Unlock()
+		m.log.Info("drain finished", "forced", m.closeErr != nil)
 	})
 	return m.closeErr
 }
@@ -681,6 +894,35 @@ func (m *Manager) WriteProm(w io.Writer) {
 	promGauge(w, "netags_serve_checkpoint_jobs", "Jobs with checkpoint state retained.", float64(cs.Jobs))
 	promGauge(w, "netags_serve_checkpoint_points", "Sweep points currently checkpointed.", float64(cs.Points))
 	promCounter(w, "netags_serve_checkpoint_disk_errors_total", "Checkpoint disk writes that failed (degraded to memory-only).", cs.DiskErrors)
+	promCounter(w, "netags_serve_checkpoint_purged_total", "Stale checkpoint files removed by the TTL garbage collector.", cs.PurgedFiles)
+
+	// Per-class queue depth: both classes always present so dashboards can
+	// plot a flat zero instead of a gap.
+	classLens := m.sched.ClassLens()
+	fmt.Fprintf(w, "# HELP netags_serve_queue_class_len Jobs waiting for a worker, per priority class.\n# TYPE netags_serve_queue_class_len gauge\n")
+	for _, p := range []Priority{PriorityInteractive, PriorityBulk} {
+		fmt.Fprintf(w, "netags_serve_queue_class_len{class=%q} %d\n", string(p), classLens[p])
+	}
+	// Per-client in-queue counts (fairness visibility). Series exist only
+	// while the client has queued work, so cardinality is bounded by the
+	// queue capacity.
+	if clients := m.sched.ClientLens(); len(clients) > 0 {
+		fmt.Fprintf(w, "# HELP netags_serve_queue_client_len Jobs waiting for a worker, per priority class and client.\n# TYPE netags_serve_queue_client_len gauge\n")
+		for _, c := range clients {
+			client := c.Client
+			if client == "" {
+				client = "anonymous"
+			}
+			fmt.Fprintf(w, "netags_serve_queue_client_len{class=%q,client=%q} %d\n", string(c.Class), client, c.N)
+		}
+	}
+	if m.trace != nil {
+		traceJobs, traceEvents := m.trace.Stats()
+		promGauge(w, "netags_serve_trace_jobs", "Job lifecycle timelines retained in the trace store.", float64(traceJobs))
+		promGauge(w, "netags_serve_trace_events", "Lifecycle trace events retained across all timelines.", float64(traceEvents))
+	}
+	m.slo.WriteProm(w)
+	m.http.WriteProm(w)
 }
 
 // ProgressJSON renders the live view of every non-terminal job — the

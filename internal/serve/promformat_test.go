@@ -1,0 +1,291 @@
+// A parser-backed validity check of the full /metrics exposition: every
+// family declares TYPE (and HELP) exactly once before its samples, sample
+// lines are well-formed, and histogram buckets are cumulative with le
+// bounds ending at +Inf and agreeing with _count. This is what keeps a
+// future metric addition from silently breaking Prometheus scrapes.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"netags/internal/obs"
+	"netags/internal/obs/httpserve"
+)
+
+var (
+	helpRe = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	// The label block is matched greedily: label values may themselves
+	// contain braces (mux patterns like "/jobs/{id}").
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+type promFamily struct {
+	typ     string
+	help    int
+	typed   int
+	samples []promSample
+}
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm validates the exposition line by line and groups samples into
+// families (histogram _bucket/_sum/_count samples belong to the base name).
+func parseProm(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	families := map[string]*promFamily{}
+	family := func(name string) *promFamily {
+		f, ok := families[name]
+		if !ok {
+			f = &promFamily{}
+			families[name] = f
+		}
+		return f
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if m := helpRe.FindStringSubmatch(line); m != nil {
+			family(m[1]).help++
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			f := family(m[1])
+			f.typed++
+			f.typ = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: malformed comment %q", lineNo, line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", lineNo, line)
+		}
+		name := m[1]
+		labels := map[string]string{}
+		if m[3] != "" {
+			for _, kv := range splitLabels(m[3]) {
+				lm := labelRe.FindStringSubmatch(kv)
+				if lm == nil {
+					t.Fatalf("line %d: malformed label %q in %q", lineNo, kv, line)
+				}
+				labels[lm[1]] = lm[2]
+			}
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(m[4], "+"), 64)
+		if err != nil && m[4] != "NaN" && !strings.Contains(m[4], "Inf") {
+			t.Fatalf("line %d: bad value %q", lineNo, m[4])
+		}
+		// Histogram samples group under the base family name.
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if f, ok := families[trimmed]; ok && f.typ == "histogram" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		family(base).samples = append(family(base).samples, promSample{name: name, labels: labels, value: v})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return families
+}
+
+// splitLabels splits `k1="v1",k2="v2"` at commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func TestMetricsExpositionValid(t *testing.T) {
+	collector := obs.NewCollector()
+	ring := obs.NewRing(128)
+	m := NewManager(Config{Workers: 1, Tracer: obs.Multi(collector, ring), run: stubRun(nil, nil)})
+	defer m.Shutdown(context.Background())
+	h := NewHandler(m, httpserve.Options{Collector: collector, Ring: ring})
+
+	// Put real traffic through so every family has live series: two jobs
+	// (one per priority class), some HTTP requests with varied statuses.
+	for i, p := range []Priority{PriorityInteractive, PriorityBulk} {
+		st, _, err := m.Submit(testSpec(40+i), SubmitOptions{Priority: p, Client: "fmt-test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, m, st.ID)
+	}
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/api/v1/jobs", nil))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/api/v1/jobs/nope", nil))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	families := parseProm(t, rec.Body.String())
+
+	for name, f := range families {
+		if f.typed != 1 {
+			t.Errorf("family %s: %d TYPE lines, want exactly 1", name, f.typed)
+		}
+		if f.help != 1 {
+			t.Errorf("family %s: %d HELP lines, want exactly 1", name, f.help)
+		}
+		if len(f.samples) == 0 {
+			t.Errorf("family %s: declared but has no samples", name)
+		}
+		if f.typ == "histogram" {
+			checkHistogramFamily(t, name, f)
+		}
+	}
+
+	// The families this PR promises must be present with live series.
+	for _, want := range []string{
+		"netags_serve_queue_wait_ms", "netags_serve_exec_ms", "netags_serve_e2e_ms",
+		"netags_serve_point_ms", "netags_http_request_ms",
+		"netags_serve_queue_class_len", "netags_serve_checkpoint_purged_total",
+		"netags_serve_trace_jobs", "netags_serve_trace_events",
+	} {
+		if _, ok := families[want]; !ok {
+			t.Errorf("family %s missing from /metrics", want)
+		}
+	}
+	qw := families["netags_serve_queue_wait_ms"]
+	if qw == nil {
+		t.Fatal("no queue-wait family")
+	}
+	classes := map[string]bool{}
+	for _, s := range qw.samples {
+		if s.name == "netags_serve_queue_wait_ms_count" {
+			classes[s.labels["class"]] = true
+		}
+	}
+	if !classes["interactive"] || !classes["bulk"] {
+		t.Errorf("queue-wait classes = %v, want interactive and bulk", classes)
+	}
+}
+
+// checkHistogramFamily verifies each series' buckets are cumulative,
+// nondecreasing in le order, end at le="+Inf", and match _count.
+func checkHistogramFamily(t *testing.T, name string, f *promFamily) {
+	t.Helper()
+	type series struct {
+		buckets map[float64]float64 // le → cumulative count
+		count   float64
+		hasCnt  bool
+	}
+	bySeries := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k + "=" + labels[k] + ";")
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := keyOf(labels)
+		s, ok := bySeries[k]
+		if !ok {
+			s = &series{buckets: map[float64]float64{}}
+			bySeries[k] = s
+		}
+		return s
+	}
+	for _, smp := range f.samples {
+		switch smp.name {
+		case name + "_bucket":
+			le := smp.labels["le"]
+			bound := 0.0
+			if le == "+Inf" {
+				bound = math.Inf(1)
+			} else {
+				var err error
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Errorf("family %s: bad le %q", name, le)
+					continue
+				}
+			}
+			get(smp.labels).buckets[bound] = smp.value
+		case name + "_count":
+			s := get(smp.labels)
+			s.count = smp.value
+			s.hasCnt = true
+		}
+	}
+	for key, s := range bySeries {
+		if len(s.buckets) == 0 {
+			t.Errorf("family %s series %q: no buckets", name, key)
+			continue
+		}
+		bounds := make([]float64, 0, len(s.buckets))
+		for b := range s.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		prev := -1.0
+		for _, b := range bounds {
+			if c := s.buckets[b]; c < prev {
+				t.Errorf("family %s series %q: bucket le=%v count %v below previous %v", name, key, b, c, prev)
+			} else {
+				prev = c
+			}
+		}
+		inf := math.Inf(1)
+		infCount, ok := s.buckets[inf]
+		if !ok {
+			t.Errorf("family %s series %q: no le=\"+Inf\" bucket", name, key)
+		}
+		if !s.hasCnt {
+			t.Errorf("family %s series %q: no _count sample", name, key)
+		} else if ok && infCount != s.count {
+			t.Errorf("family %s series %q: +Inf bucket %v != count %v", name, key, infCount, s.count)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -164,4 +165,49 @@ func (q *schedQueue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.size
+}
+
+// ClassLens returns the queued-job count per priority class — the /metrics
+// per-class queue-depth gauges.
+func (q *schedQueue) ClassLens() map[Priority]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[Priority]int, len(q.classes))
+	for p, class := range q.classes {
+		n := 0
+		for _, fifo := range class.byClient {
+			n += len(fifo)
+		}
+		out[p] = n
+	}
+	return out
+}
+
+// clientQueueLen is one (class, client) in-queue count.
+type clientQueueLen struct {
+	Class  Priority
+	Client string
+	N      int
+}
+
+// ClientLens returns the queued-job count per (class, client), sorted for
+// deterministic exposition — the fairness-visibility gauges. Cardinality is
+// bounded by the queue capacity (a client with nothing queued has no
+// entry).
+func (q *schedQueue) ClientLens() []clientQueueLen {
+	q.mu.Lock()
+	out := make([]clientQueueLen, 0, 8)
+	for p, class := range q.classes {
+		for client, fifo := range class.byClient {
+			out = append(out, clientQueueLen{Class: p, Client: client, N: len(fifo)})
+		}
+	}
+	q.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Client < out[j].Client
+	})
+	return out
 }

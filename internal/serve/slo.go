@@ -1,0 +1,197 @@
+// SLO histograms for the serving layer. Every latency an operator would
+// page on is recorded into internal/obs's power-of-two Hist (bucket b
+// counts values in [2^(b−1), 2^b) — observations here are milliseconds, so
+// the buckets run 0, 1 ms, 2 ms, 4 ms, … ~70 min) and exported on /metrics
+// as Prometheus histograms with cumulative le buckets:
+//
+//	netags_serve_queue_wait_ms{class=...}   submission → worker dequeue
+//	netags_serve_exec_ms                    worker dequeue → terminal state
+//	netags_serve_e2e_ms                     submission → terminal state
+//	netags_serve_point_ms                   one grid point's compute time
+//	netags_http_request_ms{route=,status=}  HTTP handler latency (middleware)
+//
+// Observe is a mutex-guarded array increment — no allocation — so the
+// per-point hot path can record unconditionally.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"netags/internal/obs"
+)
+
+// sloHists aggregates the serving-layer latency distributions.
+type sloHists struct {
+	mu               sync.Mutex
+	queueWaitByClass map[Priority]*obs.Hist
+	exec             obs.Hist
+	e2e              obs.Hist
+	point            obs.Hist
+}
+
+func newSLOHists() *sloHists {
+	return &sloHists{queueWaitByClass: map[Priority]*obs.Hist{
+		PriorityInteractive: {},
+		PriorityBulk:        {},
+	}}
+}
+
+func ms(d time.Duration) int64 { return int64(d / time.Millisecond) }
+
+func (s *sloHists) observeQueueWait(class Priority, d time.Duration) {
+	s.mu.Lock()
+	if h, ok := s.queueWaitByClass[class.normalize()]; ok {
+		h.Observe(ms(d))
+	}
+	s.mu.Unlock()
+}
+
+func (s *sloHists) observeExec(d time.Duration) {
+	s.mu.Lock()
+	s.exec.Observe(ms(d))
+	s.mu.Unlock()
+}
+
+func (s *sloHists) observeEndToEnd(d time.Duration) {
+	s.mu.Lock()
+	s.e2e.Observe(ms(d))
+	s.mu.Unlock()
+}
+
+func (s *sloHists) observePoint(elapsedMS float64) {
+	s.mu.Lock()
+	s.point.Observe(int64(elapsedMS))
+	s.mu.Unlock()
+}
+
+// WriteProm renders the SLO families in Prometheus text exposition format.
+func (s *sloHists) WriteProm(w io.Writer) {
+	s.mu.Lock()
+	queueWait := make(map[string]obs.Hist, len(s.queueWaitByClass))
+	for class, h := range s.queueWaitByClass {
+		queueWait[string(class)] = *h
+	}
+	exec, e2e, point := s.exec, s.e2e, s.point
+	s.mu.Unlock()
+
+	promLabeledHists(w, "netags_serve_queue_wait_ms",
+		"Milliseconds a job waited between submission and worker dequeue, per priority class.",
+		"class", queueWait)
+	promHist(w, "netags_serve_exec_ms", "Milliseconds a job spent executing (worker dequeue to terminal state).", exec)
+	promHist(w, "netags_serve_e2e_ms", "End-to-end milliseconds from submission to terminal state.", e2e)
+	promHist(w, "netags_serve_point_ms", "Milliseconds of compute per completed sweep point.", point)
+}
+
+// routeStatus keys one HTTP latency series. Struct-keyed so recording a
+// request allocates nothing after the first hit of a (route, status) pair.
+type routeStatus struct {
+	route  string
+	status int
+}
+
+// httpHists aggregates per-route/per-status handler latency, fed by the
+// middleware in middleware.go. Route label cardinality is bounded by the
+// mux's registered patterns; unmatched requests record as route "other".
+type httpHists struct {
+	mu sync.Mutex
+	m  map[routeStatus]*obs.Hist
+}
+
+func newHTTPHists() *httpHists { return &httpHists{m: make(map[routeStatus]*obs.Hist)} }
+
+func (h *httpHists) observe(route string, status int, d time.Duration) {
+	if route == "" {
+		route = "other"
+	}
+	key := routeStatus{route: route, status: status}
+	h.mu.Lock()
+	hist, ok := h.m[key]
+	if !ok {
+		hist = &obs.Hist{}
+		h.m[key] = hist
+	}
+	hist.Observe(ms(d))
+	h.mu.Unlock()
+}
+
+// WriteProm renders the HTTP latency family with route/status labels.
+func (h *httpHists) WriteProm(w io.Writer) {
+	h.mu.Lock()
+	series := make(map[string]obs.Hist, len(h.m))
+	for key, hist := range h.m {
+		series[fmt.Sprintf("route=%q,status=\"%d\"", key.route, key.status)] = *hist
+	}
+	h.mu.Unlock()
+	if len(series) == 0 {
+		return
+	}
+	promLabeledHistsRaw(w, "netags_http_request_ms",
+		"HTTP handler latency in milliseconds, by mux route and status code.", series)
+}
+
+// promHist renders one unlabeled obs.Hist as a Prometheus histogram with
+// cumulative buckets (same bucket contract as httpserve's exposition:
+// bucket b holds integer values ≤ 2^b − 1, bucket 0 exact zeros).
+func promHist(w io.Writer, name, help string, h obs.Hist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	promHistSeries(w, name, "", h)
+}
+
+// promLabeledHists renders one histogram family with a single label across
+// several series, HELP/TYPE emitted exactly once.
+func promLabeledHists(w io.Writer, name, help, label string, byValue map[string]obs.Hist) {
+	series := make(map[string]obs.Hist, len(byValue))
+	for v, h := range byValue {
+		series[fmt.Sprintf("%s=%q", label, v)] = h
+	}
+	promLabeledHistsRaw(w, name, help, series)
+}
+
+// promLabeledHistsRaw is promLabeledHists with pre-rendered label sets
+// (`k1="v1",k2="v2"`). Series render in sorted label order so the
+// exposition is deterministic.
+func promLabeledHistsRaw(w io.Writer, name, help string, series map[string]obs.Hist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		promHistSeries(w, name, k, series[k])
+	}
+}
+
+// promHistSeries writes one series' cumulative buckets, sum, and count.
+// labels is either empty or a pre-rendered `k="v"` list without braces.
+func promHistSeries(w io.Writer, name, labels string, h obs.Hist) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	top := 0
+	for b, c := range h.Counts {
+		if c > 0 {
+			top = b
+		}
+	}
+	var cum int64
+	for b := 0; b <= top; b++ {
+		cum += h.Counts[b]
+		le := int64(0)
+		if b > 0 {
+			le = int64(1)<<b - 1
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%d\"} %d\n", name, labels, sep, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.N)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.N)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %d\n%s_count{%s} %d\n", name, labels, h.Sum, name, labels, h.N)
+	}
+}

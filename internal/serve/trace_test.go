@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"netags/internal/obs"
+)
+
+func TestTraceStoreNilIsDisabled(t *testing.T) {
+	var s *TraceStore
+	s.Append("x", TraceEvent{Stage: StageReceived}) // must not panic
+	s.Forget("x")
+	if _, _, ok := s.Events("x"); ok {
+		t.Fatal("nil store reported events")
+	}
+	if _, ok := s.Timeline("x"); ok {
+		t.Fatal("nil store reported a timeline")
+	}
+	if jobs, events := s.Stats(); jobs != 0 || events != 0 {
+		t.Fatalf("nil store stats = %d/%d", jobs, events)
+	}
+}
+
+func TestTraceStoreHeadTailBounds(t *testing.T) {
+	// 16 events per job → head 2, tail 14.
+	s := NewTraceStore(16, 0)
+	const total = 50
+	for i := 0; i < total; i++ {
+		s.Append("job", TraceEvent{Stage: StagePointCompleted, K: i + 1})
+	}
+	evs, dropped, ok := s.Events("job")
+	if !ok {
+		t.Fatal("job untraced")
+	}
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want 16", len(evs))
+	}
+	if dropped != total-16 {
+		t.Fatalf("dropped = %d, want %d", dropped, total-16)
+	}
+	// Head is verbatim: Seq 1, 2. Tail is the most recent 14: Seq 37..50.
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("head seqs = %d,%d, want 1,2", evs[0].Seq, evs[1].Seq)
+	}
+	for i, ev := range evs[2:] {
+		if want := total - 14 + 1 + i; ev.Seq != want {
+			t.Fatalf("tail[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestTraceStoreShortJobKeepsEverything(t *testing.T) {
+	s := NewTraceStore(0, 0) // defaults: 32 head + 224 tail
+	stages := []string{StageReceived, StageAdmitted, StageScheduled, StageRunning, StageCompleted}
+	for _, st := range stages {
+		s.Append("job", TraceEvent{Stage: st})
+	}
+	evs, dropped, _ := s.Events("job")
+	if len(evs) != len(stages) || dropped != 0 {
+		t.Fatalf("got %d events (%d dropped), want %d/0", len(evs), dropped, len(stages))
+	}
+	for i, ev := range evs {
+		if ev.Stage != stages[i] || ev.Seq != i+1 {
+			t.Fatalf("event %d = %q seq %d", i, ev.Stage, ev.Seq)
+		}
+	}
+}
+
+func TestTraceStoreEvictionAndForget(t *testing.T) {
+	s := NewTraceStore(8, 2)
+	s.Append("a", TraceEvent{Stage: StageReceived})
+	s.Append("b", TraceEvent{Stage: StageReceived})
+	s.Append("c", TraceEvent{Stage: StageReceived}) // evicts a
+	if _, _, ok := s.Events("a"); ok {
+		t.Fatal("oldest job survived eviction")
+	}
+	if _, _, ok := s.Events("b"); !ok {
+		t.Fatal("second job evicted too early")
+	}
+	s.Forget("b")
+	if _, _, ok := s.Events("b"); ok {
+		t.Fatal("Forget left the timeline behind")
+	}
+	if jobs, _ := s.Stats(); jobs != 1 {
+		t.Fatalf("stats jobs = %d, want 1", jobs)
+	}
+}
+
+func TestTraceTimelineDurations(t *testing.T) {
+	s := NewTraceStore(0, 0)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	s.Append("job", TraceEvent{Stage: StageReceived, T: at(0)})
+	s.Append("job", TraceEvent{Stage: StageAdmitted, Class: PriorityBulk, T: at(1), N: 3})
+	s.Append("job", TraceEvent{Stage: StageScheduled, Class: PriorityBulk, T: at(40), K: 40})
+	s.Append("job", TraceEvent{Stage: StageRunning, T: at(41)})
+	s.Append("job", TraceEvent{Stage: StagePointCompleted, T: at(50), K: 1, N: 3})
+	s.Append("job", TraceEvent{Stage: StageCompleted, T: at(90)})
+
+	tl, ok := s.Timeline("job")
+	if !ok {
+		t.Fatal("no timeline")
+	}
+	if tl.QueueWaitMS != 40 {
+		t.Fatalf("queue_wait_ms = %v, want 40", tl.QueueWaitMS)
+	}
+	if tl.ExecMS != 49 {
+		t.Fatalf("exec_ms = %v, want 49", tl.ExecMS)
+	}
+	if tl.TotalMS != 90 {
+		t.Fatalf("total_ms = %v, want 90", tl.TotalMS)
+	}
+	if tl.Events[0].SincePrevMS != 0 {
+		t.Fatalf("first since_prev_ms = %v, want 0", tl.Events[0].SincePrevMS)
+	}
+	if tl.Events[2].SincePrevMS != 39 {
+		t.Fatalf("scheduled since_prev_ms = %v, want 39", tl.Events[2].SincePrevMS)
+	}
+	if got := tl.Events[1].Class; got != PriorityBulk {
+		t.Fatalf("admitted class = %q", got)
+	}
+	if !strings.HasPrefix(tl.Events[0].Time, "2026-08-07T12:00:00") {
+		t.Fatalf("timestamp = %q", tl.Events[0].Time)
+	}
+}
+
+// TestManagerTraceLifecycle drives a real job through the manager and
+// checks its timeline plus the mirrored obs.KindJob events in a Ring.
+func TestManagerTraceLifecycle(t *testing.T) {
+	ring := obs.NewRing(256)
+	m := NewManager(Config{Workers: 1, Tracer: ring, run: stubRun(nil, nil)})
+	defer m.Shutdown(context.Background())
+
+	st, _, err := m.Submit(testSpec(1), SubmitOptions{Priority: PriorityBulk, Client: "cli-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st.ID)
+
+	tl, ok := m.JobTrace(st.ID)
+	if !ok {
+		t.Fatal("no trace for completed job")
+	}
+	var stages []string
+	for _, ev := range tl.Events {
+		stages = append(stages, ev.Stage)
+	}
+	for _, want := range []string{StageReceived, StageAdmitted, StageScheduled, StageRunning, StagePointCompleted, StageCompleted} {
+		found := false
+		for _, s := range stages {
+			if s == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("timeline missing stage %q: %v", want, stages)
+		}
+	}
+	// The mirrored ring events carry the job id and the same stages.
+	sawJob := false
+	for _, ev := range ring.Events() {
+		if ev.Kind == obs.KindJob && ev.Job == st.ID && ev.Phase == StageCompleted {
+			sawJob = true
+		}
+	}
+	if !sawJob {
+		t.Fatal("ring missing mirrored completed event")
+	}
+}
+
+func TestManagerTraceDisabled(t *testing.T) {
+	m := NewManager(Config{Workers: 1, TraceEventsPerJob: -1, run: stubRun(nil, nil)})
+	defer m.Shutdown(context.Background())
+	st, _, err := m.Submit(testSpec(2), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st.ID)
+	if m.Trace() != nil {
+		t.Fatal("trace store exists despite TraceEventsPerJob=-1")
+	}
+	if _, ok := m.JobTrace(st.ID); ok {
+		t.Fatal("JobTrace answered with tracing disabled")
+	}
+}

@@ -3,8 +3,11 @@
 # checkpoint dir, submit a sweep, follow its NDJSON stream, kill -9 the
 # process at ~50% of the points, restart on the same dir, resubmit the
 # same spec, and verify the resumed job (a) reports resumed points,
-# (b) finishes, and (c) produces a byte-identical result to an
-# uninterrupted run. Exercises /api/v1/jobs, /stream, /result end to end.
+# (b) finishes, (c) produces a byte-identical result to an uninterrupted
+# run, and (d) carries a full lifecycle timeline on /jobs/{id}/trace
+# (checkpoint_restored included) with the SLO histogram families live on
+# /metrics and X-Request-ID correlation on every response. Exercises
+# /api/v1/jobs, /stream, /trace, /result, and /metrics end to end.
 #
 # Usage: scripts/serve_e2e.sh   (from the repo root; needs go + curl)
 set -euo pipefail
@@ -34,7 +37,7 @@ die() { echo "serve_e2e: FAIL: $*" >&2; exit 1; }
 start_daemon() {
     local dir=$1 log=$2 pidfile=$3
     "$WORK/ccmserve" -addr 127.0.0.1:0 -pool 1 -job-workers 1 \
-        -checkpoint-dir "$dir" >/dev/null 2>"$log" &
+        -checkpoint-dir "$dir" -checkpoint-ttl 24h -log-format json >/dev/null 2>"$log" &
     echo $! >"$pidfile"
     cat "$pidfile" >>"$PIDFILE"
     for _ in $(seq 1 100); do
@@ -101,6 +104,47 @@ RESUMED=$(sed -n 's/.*"resumed_points":\([0-9]*\).*/\1/p' <<<"$RESP")
     || die "resubmit reports resumed_points=$RESUMED, want >= $KILL_AT: $RESP"
 echo "serve_e2e: resumed with $RESUMED checkpointed points"
 await_result "$ADDR" "$ID" "$WORK/resumed.bin"
+
+# --- Phase 2b: observability of the resumed job --------------------------
+# The lifecycle timeline must show the whole story of the resumed run:
+# received -> checkpoint_restored -> admitted -> scheduled -> running ->
+# point_completed -> completed, with the queue-wait summary computed.
+TRACE=$(curl -s "http://$ADDR/api/v1/jobs/$ID/trace")
+for stage in received checkpoint_restored admitted scheduled running point_completed completed; do
+    grep -q "\"stage\":\"$stage\"" <<<"$TRACE" \
+        || die "trace missing stage $stage: $TRACE"
+done
+grep -q '"queue_wait_ms"' <<<"$TRACE" || die "trace missing queue_wait_ms summary: $TRACE"
+grep -q '"class":"interactive"' <<<"$TRACE" || die "trace events carry no class: $TRACE"
+echo "serve_e2e: trace timeline complete for resumed job"
+
+# SLO histograms, per-class queue gauges, and the checkpoint GC counter
+# must be live on /metrics.
+METRICS=$(curl -s "http://$ADDR/metrics")
+for family in \
+    'netags_serve_queue_wait_ms_bucket{class="interactive"' \
+    'netags_serve_point_ms_count' \
+    'netags_serve_e2e_ms_count' \
+    'netags_http_request_ms_bucket' \
+    'netags_serve_queue_class_len{class="bulk"}' \
+    'netags_serve_queue_class_len{class="interactive"}' \
+    'netags_serve_checkpoint_purged_total'; do
+    grep -qF "$family" <<<"$METRICS" || die "/metrics missing $family"
+done
+echo "serve_e2e: SLO histogram and queue-gauge families live"
+
+# Request-ID correlation: generated when absent, echoed when supplied, and
+# attached to the access log lines.
+RID=$(curl -s -o /dev/null -D - "http://$ADDR/healthz" | tr -d '\r' | sed -n 's/^[Xx]-[Rr]equest-[Ii][Dd]: //p')
+[ -n "$RID" ] || die "no X-Request-ID generated on response"
+ECHOED=$(curl -s -o /dev/null -D - -H 'X-Request-ID: e2e-rid-42' "http://$ADDR/healthz" \
+    | tr -d '\r' | sed -n 's/^[Xx]-[Rr]equest-[Ii][Dd]: //p')
+[ "$ECHOED" = "e2e-rid-42" ] || die "client X-Request-ID not echoed (got '$ECHOED')"
+grep -q '"request_id":"e2e-rid-42"' "$WORK/daemon2.log" \
+    || die "access log missing the request id (daemon2.log)"
+grep -q '"msg":"job admitted"' "$WORK/daemon2.log" \
+    || die "structured job-admitted log missing (daemon2.log)"
+echo "serve_e2e: request-id correlation and structured logs verified"
 
 # --- Phase 3: uninterrupted reference run, byte-compare ------------------
 mkdir -p "$WORK/ckpt-ref"
