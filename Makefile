@@ -17,6 +17,13 @@ ifeq ($(FUZZ),1)
 	$(MAKE) fuzz-smoke
 endif
 
+# Scale tier: the simtest differential oracles at 10^4–10^5 tags plus the
+# million-tag smoke session (duration + live-heap budgets, bitmap held to
+# DirectBitmap exactly). Opt-in via CCM_SCALE=1 so `go test ./...` stays
+# fast; CI runs it as its own job with timeout headroom.
+test-scale:
+	CCM_SCALE=1 go test -run 'TestScale' -v -timeout 20m ./internal/simtest/
+
 # End-to-end crash-resume smoke against a real ccmserve process: submit a
 # sweep, kill -9 at ~50% of its points, restart on the same checkpoint dir,
 # and assert the resumed result is byte-identical to an uninterrupted run.
@@ -40,7 +47,10 @@ fuzz-smoke:
 bench-sweep:
 	go test -bench=ExperimentQuick -benchtime=1x -run='^$$' .
 
-# The tracked benchmark suite: tracing overhead (core), the bitmap OR-merge
+# The tracked benchmark suite: tracing overhead (core), the pooled session
+# kernel at 10^4–10^6 tags plus arena reuse (allocs/op pinned at the small
+# per-session constant — any per-round allocation regression multiplies it
+# and trips the alloc gate), the bitmap OR-merge
 # hot paths, sweep worker scaling, the -http Tracker bookkeeping, the serve
 # layer's submission fast paths (content-address hashing, cache hits,
 # warm-cache Submit), and the per-point execution path with observability
@@ -48,7 +58,7 @@ bench-sweep:
 # plus per-benchmark mean/min/max rollups land in BENCH_observability.json
 # (recover a benchstat input with `jq -r '.benchmarks[].raw'`).
 BENCH_PKGS    = ./internal/core/ ./internal/bitmap/ ./internal/experiment/ ./internal/serve/
-BENCH_PATTERN = 'SessionTracer|Bitmap|SweepWorkers|TrackerObserve|ServeSpecKey|ServeCacheGet|ServeSubmitHit|ServePointDone'
+BENCH_PATTERN = 'SessionTracer|SessionN|RunnerReuse|Bitmap|SweepWorkers|TrackerObserve|ServeSpecKey|ServeCacheGet|ServeSubmitHit|ServePointDone'
 bench:
 	go test -bench=$(BENCH_PATTERN) -benchmem -count=5 -run='^$$' $(BENCH_PKGS) \
 		| tee /dev/stderr | go run ./internal/tools/benchjson > BENCH_observability.json
@@ -68,4 +78,4 @@ bench-compare:
 			-baseline BENCH_observability.json \
 			-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
-.PHONY: verify serve-e2e fuzz-smoke bench bench-sweep bench-compare
+.PHONY: verify test-scale serve-e2e fuzz-smoke bench bench-sweep bench-compare

@@ -129,6 +129,16 @@ func (b *Bitmap) Clone() *Bitmap {
 	return c
 }
 
+// CopyFrom overwrites b with other's contents in place — the allocation-free
+// counterpart of Clone for pooled scratch bitmaps. The bitmaps must have
+// equal length.
+func (b *Bitmap) CopyFrom(other *Bitmap) {
+	if b.n != other.n {
+		panic("bitmap: length mismatch in CopyFrom")
+	}
+	copy(b.words, other.words)
+}
+
 // Reset clears every bit in place.
 func (b *Bitmap) Reset() {
 	for i := range b.words {
@@ -149,9 +159,21 @@ func (b *Bitmap) ForEach(fn func(i int)) {
 
 // Indices returns the positions of all set bits in ascending order.
 func (b *Bitmap) Indices() []int {
-	out := make([]int, 0, b.Count())
-	b.ForEach(func(i int) { out = append(out, i) })
-	return out
+	return b.AppendIndices(make([]int, 0, b.Count()))
+}
+
+// AppendIndices appends the positions of all set bits to dst in ascending
+// order and returns the extended slice. Callers that reuse dst across frames
+// iterate set bits without the per-call allocation of Indices (and without a
+// closure, which keeps the session hot path free of escape-analysis traps).
+func (b *Bitmap) AppendIndices(dst []int) []int {
+	for wi, w := range b.words {
+		for w != 0 {
+			dst = append(dst, wi*wordBits+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // ContainsAll reports whether every bit set in other is also set in b.

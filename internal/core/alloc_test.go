@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"netags/internal/energy"
+)
+
+// TestSessionRoundAllocs pins the session hot paths at exactly zero
+// allocations per operation once the arena is warm. Per-SESSION allocations
+// (the Result, its meter, the bitmap clone) are deliberately outside the
+// measured closures — they happen once per run and are the caller's to keep;
+// the per-ROUND and per-checking-frame paths are what a million-tag session
+// executes thousands of times and must never touch the allocator.
+func TestSessionRoundAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is load-sensitive; skipped in -short")
+	}
+	nw := diskNetwork(t, 2000, 5, 0xa110c)
+	meter := energy.NewMeter(nw.N())
+
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"reliable", Config{FrameSize: 128, Seed: 42, Sampling: 0.5}},
+		{"lossy", Config{FrameSize: 128, Seed: 42, Sampling: 0.5, LossProb: 0.2, LossSeed: 7}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			if err := cfg.validate(nw); err != nil {
+				t.Fatal(err)
+			}
+			maxRounds := cfg.maxRounds(nw)
+
+			// Warm the arena to its session-wide high-water mark: one
+			// complete session sizes every scratch buffer.
+			var s session
+			s.init(nw, cfg, meter)
+			s.seedInitialPicks()
+			s.run()
+
+			t.Run("session-rounds", func(t *testing.T) {
+				// The full round loop of run(), minus Result assembly.
+				allocs := testing.AllocsPerRun(10, func() {
+					s.init(nw, cfg, meter)
+					s.seedInitialPicks()
+					for round := 1; round <= maxRounds; round++ {
+						s.runRound(round)
+						if !s.runCheckingFrame(round) {
+							break
+						}
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("warm session rounds allocated %v times per run, want 0", allocs)
+				}
+			})
+
+			t.Run("steady-round", func(t *testing.T) {
+				// The session above is drained, so each call is the
+				// steady-state round skeleton: CSR fold, monitoring charge,
+				// reader bookkeeping, indicator broadcast. The per-round
+				// diagnostics are trimmed inside the closure because a real
+				// session resets them once per run, not once per round.
+				allocs := testing.AllocsPerRun(50, func() {
+					s.newBusyPerRound = s.newBusyPerRound[:0]
+					s.runRound(1)
+				})
+				if allocs != 0 {
+					t.Errorf("steady round allocated %v times per run, want 0", allocs)
+				}
+			})
+
+			t.Run("checking-frame", func(t *testing.T) {
+				allocs := testing.AllocsPerRun(50, func() {
+					s.checkSlotsPerRound = s.checkSlotsPerRound[:0]
+					s.runCheckingFrame(1)
+				})
+				if allocs != 0 {
+					t.Errorf("checking frame allocated %v times per run, want 0", allocs)
+				}
+			})
+		})
+	}
+}

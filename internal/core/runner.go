@@ -1,0 +1,40 @@
+package core
+
+import (
+	"netags/internal/energy"
+	"netags/internal/topology"
+)
+
+// Runner executes CCM sessions while retaining every piece of per-session
+// scratch — the slot-state matrix, the CSR transmit view, the checking-frame
+// wave buffers, the reader bitmaps — between runs. After the first session
+// over a deployment of a given size, subsequent sessions of similar shape
+// allocate only their Result (bitmap clone, meter, diagnostic copies); the
+// per-round hot path allocates nothing at all (TestSessionRoundAllocs).
+//
+// A Runner is not safe for concurrent use; pool one per worker (see
+// internal/experiment). Results are fully owned by the caller and remain
+// valid after the Runner moves on to its next session, so pooling never
+// constrains result lifetime.
+type Runner struct {
+	s session
+}
+
+// NewRunner returns an empty Runner. The arena is sized lazily by the first
+// Run.
+func NewRunner() *Runner {
+	return &Runner{}
+}
+
+// Run executes one CCM session (Algorithm 1) over the network, reusing the
+// Runner's scratch arena. It is behaviorally identical to RunSession —
+// byte-identical Results for the same inputs, pinned by the simtest golden
+// and no-state-bleed tests.
+func (r *Runner) Run(nw *topology.Network, cfg Config) (*Result, error) {
+	if err := cfg.validate(nw); err != nil {
+		return nil, err
+	}
+	r.s.init(nw, cfg, energy.NewMeter(nw.N()))
+	r.s.seedInitialPicks()
+	return r.s.run(), nil
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"netags/internal/bitmap"
 	"netags/internal/energy"
 	"netags/internal/obs"
@@ -18,7 +20,9 @@ const (
 	slotSilenced                 // reader announced the slot busy; sleeps
 )
 
-// Result reports everything a CCM session produced.
+// Result reports everything a CCM session produced. A Result is fully owned
+// by the caller: it shares no storage with the session that produced it, so
+// pooled Runners can be reused immediately.
 type Result struct {
 	// Bitmap is the final information bitmap B (Algorithm 1's output).
 	Bitmap *bitmap.Bitmap
@@ -40,25 +44,52 @@ type Result struct {
 	CheckSlotsPerRound []int
 }
 
-// session carries the mutable state of one run.
+// session carries the mutable state of one run. All of it is arena-style
+// scratch owned by a Runner: every slice is sized on first use, retained
+// across sessions, and re-initialized in O(n) (plus one O(n·f) state clear)
+// by init — the per-round hot paths allocate nothing once the arena is warm
+// (TestSessionRoundAllocs pins this at exactly zero).
 type session struct {
 	nw  *topology.Network
 	cfg Config
 	f   int
+	n   int
 
 	// state is the n×f slot-state matrix, row-major.
 	state []uint8
-	// scheduled[i] lists tag i's slots in state slotScheduled. Entries whose
-	// state has moved on (silenced) are skipped when the list is drained.
-	scheduled [][]int32
-	// schedCount[i] is the number of state==slotScheduled entries of tag i,
+
+	// Pending (tag, slot) transitions: slots that entered slotScheduled
+	// since the last frame, in discovery order. Each round consumes them
+	// into the CSR transmit view below and refills them during delivery.
+	// A (tag, slot) pair enters at most once per session (the state machine
+	// is monotone), so both buffers reach a session-wide high-water mark
+	// and stop growing.
+	pendTag  []int32
+	pendSlot []int32
+
+	// CSR transmit view of the current round, rebuilt from the pending
+	// pairs each round in O(touched): tag t's transmissions are
+	// txSlots[txOff[t] : txOff[t]+txLen[t]]. txOff and txLen are n-sized
+	// but only entries of tags in touched are live; txLen doubles as the
+	// first-touch detector and is restored to all-zero after every round.
+	txSlots []int32
+	txOff   []int32
+	txLen   []int32
+	// touched lists the tags with pending entries this round, sorted
+	// ascending so delivery visits transmitters in the same tag order as a
+	// dense scan (this pins the PRNG draw order of the lossy channel).
+	touched []int32
+
+	// schedCount[i] is the number of state==slotScheduled slots of tag i,
 	// i.e. whether the tag needs to transmit next round.
 	schedCount []int32
 	// unknownCount[i] is the number of state==slotUnknown slots of tag i,
 	// i.e. how many slots it monitors per frame.
 	unknownCount []int32
-	// tier1 marks tags the reader can hear directly.
-	tier1 []bool
+	// tier1 marks tags the reader can hear directly; inSystem marks tags
+	// with Tier > 0 (§II: the rest are outside the system entirely).
+	tier1    []bool
+	inSystem []bool
 
 	meter *energy.Meter
 	clock energy.Clock
@@ -66,51 +97,132 @@ type session struct {
 	// reader-side bitmaps
 	known     *bitmap.Bitmap // V: all slots the reader knows are busy
 	roundBusy *bitmap.Bitmap // busy slots heard by the reader this round
+	newBusy   *bitmap.Bitmap // scratch: roundBusy &^ known, reused per round
+	// busyIdx is the expansion of newBusy into slot indices, reused per
+	// round for the indicator-vector silencing sweep.
+	busyIdx []int
 
-	loss *prng.Source // nil when the channel is reliable
+	// Checking-frame scratch: responded flags are cleared in O(marked) via
+	// respondedList after every frame; wave/waveNext double-buffer the
+	// one-hop response wave.
+	responded     []bool
+	respondedList []int32
+	wave          []int32
+	waveNext      []int32
+
+	// Per-round diagnostics, accumulated here and copied into the Result
+	// once at session end so the round path never grows caller-visible
+	// slices.
+	newBusyPerRound    []int
+	checkSlotsPerRound []int
+
+	loss      *prng.Source // nil when the channel is reliable
+	lossState prng.Source
 }
 
-// RunSession executes one CCM session (Algorithm 1) over the network.
+// RunSession executes one CCM session (Algorithm 1) over the network with
+// freshly allocated state. Callers running many sessions should reuse a
+// Runner, which amortizes all scratch across runs.
 func RunSession(nw *topology.Network, cfg Config) (*Result, error) {
-	if err := cfg.validate(nw); err != nil {
-		return nil, err
+	return NewRunner().Run(nw, cfg)
+}
+
+// grow returns s resized to n elements, reusing its backing array when the
+// capacity allows. Recycled prefixes keep their old contents; callers that
+// need zeroed memory clear explicitly.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
 	}
-	n := nw.N()
-	s := &session{
-		nw:           nw,
-		cfg:          cfg,
-		f:            cfg.FrameSize,
-		state:        make([]uint8, n*cfg.FrameSize),
-		scheduled:    make([][]int32, n),
-		schedCount:   make([]int32, n),
-		unknownCount: make([]int32, n),
-		tier1:        make([]bool, n),
-		meter:        energy.NewMeter(n),
-		known:        bitmap.New(cfg.FrameSize),
-		roundBusy:    bitmap.New(cfg.FrameSize),
+	return make([]T, n)
+}
+
+// init sizes and resets the arena for one session over nw. The config must
+// already be validated. meter is taken over as the session's (and the
+// eventual Result's) energy meter. Once the arena has seen a deployment of
+// this size and frame, init performs no allocations.
+func (s *session) init(nw *topology.Network, cfg Config, meter *energy.Meter) {
+	n, f := nw.N(), cfg.FrameSize
+	s.nw, s.cfg, s.f, s.n = nw, cfg, f, n
+	s.meter = meter
+	s.meter.Reset()
+	s.clock = energy.Clock{}
+
+	// txLen and responded must be all-zero/false between rounds. The round
+	// and frame code restores them in O(touched), but a session that hit
+	// its round bound leaves residue, so replay those clears first — before
+	// any resizing below, while the indices still fit the previous
+	// deployment's slice lengths. This keeps both backing arrays all-zero
+	// across size changes.
+	for _, t := range s.touched {
+		s.txLen[t] = 0
 	}
+	s.touched = s.touched[:0]
+	for _, i := range s.respondedList {
+		s.responded[i] = false
+	}
+	s.respondedList = s.respondedList[:0]
+
+	if cap(s.state) >= n*f {
+		s.state = s.state[:n*f]
+		clear(s.state)
+	} else {
+		s.state = make([]uint8, n*f)
+	}
+	s.schedCount = grow(s.schedCount, n)
+	s.unknownCount = grow(s.unknownCount, n)
+	s.tier1 = grow(s.tier1, n)
+	s.inSystem = grow(s.inSystem, n)
+	s.txOff = grow(s.txOff, n)
+	s.txLen = grow(s.txLen, n)
+	s.responded = grow(s.responded, n)
+
+	// A truncated session also leaves never-transmitted pairs pending.
+	s.pendTag = s.pendTag[:0]
+	s.pendSlot = s.pendSlot[:0]
+	s.wave = s.wave[:0]
+	s.waveNext = s.waveNext[:0]
+	s.busyIdx = s.busyIdx[:0]
+	s.newBusyPerRound = s.newBusyPerRound[:0]
+	s.checkSlotsPerRound = s.checkSlotsPerRound[:0]
+
+	if s.known == nil || s.known.Len() != f {
+		s.known = bitmap.New(f)
+		s.roundBusy = bitmap.New(f)
+		s.newBusy = bitmap.New(f)
+	} else {
+		s.known.Reset()
+		s.roundBusy.Reset()
+		s.newBusy.Reset()
+	}
+
+	s.loss = nil
 	if cfg.LossProb > 0 {
-		s.loss = prng.New(cfg.LossSeed)
+		s.lossState = *prng.New(cfg.LossSeed)
+		s.loss = &s.lossState
 	}
+
 	for i := 0; i < n; i++ {
-		if nw.Tier[i] == 0 {
+		tier := nw.Tier[i]
+		s.inSystem[i] = tier != 0
+		s.tier1[i] = tier == 1
+		s.schedCount[i] = 0
+		if tier == 0 {
 			// Tags that cannot reach the reader are outside the system
 			// (§II) — out of the field of view they never hear the request,
 			// and either way their data can never arrive. They hold no slot
 			// state, never listen or relay, and consume no energy (the same
 			// boundary sicp draws with its asleep set). Silencing their
 			// whole row keeps the delivery loop branch-free.
-			row := s.state[i*s.f : (i+1)*s.f]
+			row := s.state[i*f : (i+1)*f]
 			for j := range row {
 				row[j] = slotSilenced
 			}
+			s.unknownCount[i] = 0
 			continue
 		}
-		s.unknownCount[i] = int32(s.f)
-		s.tier1[i] = nw.Tier[i] == 1
+		s.unknownCount[i] = int32(f)
 	}
-	s.seedInitialPicks()
-	return s.run(), nil
 }
 
 // dropped reports whether a reception event is lost on the unreliable
@@ -132,27 +244,44 @@ func defaultPicker(cfg Config) SlotPicker {
 }
 
 // seedInitialPicks applies the slot picker: round 1 is the only round in
-// which tags originate information (§III-C line 7).
+// which tags originate information (§III-C line 7). The default picker is
+// inlined so full-participation million-tag sessions do not pay one slice
+// allocation per tag; custom pickers keep the slice-returning API.
 func (s *session) seedInitialPicks() {
-	pick := s.cfg.Picker
-	if pick == nil {
-		pick = defaultPicker(s.cfg)
+	if s.cfg.Picker == nil {
+		seed, p := s.cfg.Seed, s.cfg.Sampling
+		for i := 0; i < s.n; i++ {
+			if !s.inSystem[i] {
+				// Out-of-system tags (§II) stay silent.
+				continue
+			}
+			id := s.cfg.id(i)
+			if !prng.Participates(id, seed, p) {
+				continue
+			}
+			s.schedule(i, prng.SlotOf(id, seed, s.f))
+		}
+		return
 	}
-	for i := 0; i < s.nw.N(); i++ {
-		if s.nw.Tier[i] == 0 {
-			// Tags that cannot reach the reader are outside the system
-			// (§II); in the paper's setting they also sit beyond every
-			// neighbor, so they stay silent.
+	for i := 0; i < s.n; i++ {
+		if !s.inSystem[i] {
 			continue
 		}
-		for _, slot := range pick(i, s.cfg.id(i)) {
+		for _, slot := range s.cfg.Picker(i, s.cfg.id(i)) {
 			if slot < 0 || slot >= s.f {
 				continue
 			}
-			if s.mark(i, slot, slotScheduled) {
-				s.scheduled[i] = append(s.scheduled[i], int32(slot))
-			}
+			s.schedule(i, slot)
 		}
+	}
+}
+
+// schedule marks (i, slot) scheduled if the slot is still unknown and
+// records the transition in the pending list.
+func (s *session) schedule(i, slot int) {
+	if s.mark(i, slot, slotScheduled) {
+		s.pendTag = append(s.pendTag, int32(i))
+		s.pendSlot = append(s.pendSlot, int32(slot))
 	}
 }
 
@@ -180,24 +309,24 @@ func (s *session) run() *Result {
 			Protocol:  obs.ProtoCCM,
 			Reader:    s.cfg.Reader,
 			FrameSize: s.f,
-			Tags:      s.nw.N(),
+			Tags:      s.n,
 			Tiers:     s.nw.K,
 			Seed:      s.cfg.Seed,
 		})
 	}
 	maxRounds := s.cfg.maxRounds(s.nw)
 	for round := 1; round <= maxRounds; round++ {
-		txTags, txBits := s.runRound(res, round)
+		txTags, txBits := s.runRound(round)
 		res.Rounds = round
-		more := s.runCheckingFrame(res, round)
+		more := s.runCheckingFrame(round)
 		if s.cfg.Trace != nil {
 			s.cfg.Trace(RoundTrace{
 				Round:        round,
 				Transmitters: txTags,
 				BitsSent:     txBits,
-				NewBusy:      res.NewBusyPerRound[round-1],
+				NewBusy:      s.newBusyPerRound[round-1],
 				KnownBusy:    s.known.Count(),
-				CheckSlots:   res.CheckSlotsPerRound[round-1],
+				CheckSlots:   s.checkSlotsPerRound[round-1],
 				MorePending:  more,
 			})
 		}
@@ -209,9 +338,9 @@ func (s *session) run() *Result {
 				Round:        round,
 				Transmitters: txTags,
 				Bits:         int64(txBits),
-				NewBusy:      res.NewBusyPerRound[round-1],
+				NewBusy:      s.newBusyPerRound[round-1],
 				KnownBusy:    s.known.Count(),
-				CheckSlots:   res.CheckSlotsPerRound[round-1],
+				CheckSlots:   s.checkSlotsPerRound[round-1],
 				Pending:      more,
 			})
 		}
@@ -221,7 +350,9 @@ func (s *session) run() *Result {
 	}
 	res.Clock = s.clock
 	res.Bitmap = s.known.Clone()
-	for i := range s.schedCount {
+	res.NewBusyPerRound = append([]int(nil), s.newBusyPerRound...)
+	res.CheckSlotsPerRound = append([]int(nil), s.checkSlotsPerRound...)
+	for i := 0; i < s.n; i++ {
 		if s.schedCount[i] > 0 {
 			res.Truncated = true
 			break
@@ -250,56 +381,70 @@ func (s *session) run() *Result {
 // runRound executes the request broadcast, the f-slot frame, and the
 // indicator-vector broadcast of one round. It returns the number of
 // transmitting tags and the frame bits they sent (for tracing).
-func (s *session) runRound(res *Result, round int) (txTags, txBits int) {
-	n := s.nw.N()
-
+func (s *session) runRound(round int) (txTags, txBits int) {
 	// Reader request broadcast: one 96-bit reader slot. (The paper's energy
 	// model, eq. (11), does not charge tags for receiving it; we follow
 	// suit, but it does occupy air time.)
 	s.clock.LongSlots++
 
-	// Capture this round's transmissions: every scheduled slot becomes a
-	// transmitted slot. Slots silenced since they were scheduled are
-	// dropped without cost.
-	tx := make([][]int32, n)
-	for i := 0; i < n; i++ {
-		if len(s.scheduled[i]) == 0 {
+	// Fold the pending transitions into the CSR transmit view. Pass 1
+	// counts entries per tag (silenced ones included for sizing; the
+	// scatter pass drops them) and collects the touched set.
+	for _, t := range s.pendTag {
+		if s.txLen[t] == 0 {
+			s.touched = append(s.touched, t)
+		}
+		s.txLen[t]++
+	}
+	slices.Sort(s.touched)
+	s.txSlots = grow(s.txSlots, len(s.pendTag))
+	var off int32
+	for _, t := range s.touched {
+		s.txOff[t] = off
+		off += s.txLen[t]
+		s.txLen[t] = 0 // becomes the kept-entry cursor for pass 2
+	}
+	// Pass 2 captures this round's transmissions: every still-scheduled
+	// slot becomes a transmitted slot. Slots silenced since they were
+	// scheduled are dropped without cost. Scatter order preserves each
+	// tag's discovery order.
+	for k, t := range s.pendTag {
+		slot := s.pendSlot[k]
+		idx := int(t)*s.f + int(slot)
+		if s.state[idx] != slotScheduled {
 			continue
 		}
-		keep := s.scheduled[i][:0]
-		for _, slot := range s.scheduled[i] {
-			idx := i*s.f + int(slot)
-			if s.state[idx] == slotScheduled {
-				s.state[idx] = slotTransmitted
-				s.schedCount[i]--
-				keep = append(keep, slot)
-			}
-		}
-		tx[i] = keep
-		s.scheduled[i] = nil
+		s.state[idx] = slotTransmitted
+		s.schedCount[t]--
+		s.txSlots[s.txOff[t]+s.txLen[t]] = slot
+		s.txLen[t]++
 	}
+	s.pendTag = s.pendTag[:0]
+	s.pendSlot = s.pendSlot[:0]
 
 	// Monitoring charge: a tag stays awake for exactly its unknown slots
 	// (§III-D: it sleeps in transmitted and silenced slots, and is busy
 	// transmitting in scheduled ones).
-	for i := 0; i < n; i++ {
-		s.meter.AddReceived(i, int64(s.unknownCount[i]))
-	}
+	s.meter.AddReceivedCounts(s.unknownCount)
 
 	// Deliver transmissions. A listener senses a busy slot iff it is
 	// monitoring that slot (half duplex: a tag transmitting in the slot is
 	// not). Collisions are benign: the first delivery marks the slot, later
-	// deliveries find it already marked.
+	// deliveries find it already marked. Newly scheduled slots land back in
+	// the pending list for the next round.
 	s.roundBusy.Reset()
-	for i := 0; i < n; i++ {
-		if len(tx[i]) == 0 {
+	for _, ti := range s.touched {
+		cnt := s.txLen[ti]
+		if cnt == 0 {
 			continue
 		}
+		i := int(ti)
+		slots := s.txSlots[s.txOff[ti] : s.txOff[ti]+cnt]
 		txTags++
-		txBits += len(tx[i])
-		s.meter.AddSent(i, int64(len(tx[i])))
+		txBits += len(slots)
+		s.meter.AddSent(i, int64(len(slots)))
 		neighbors := s.nw.Neighbors(i)
-		for _, slot := range tx[i] {
+		for _, slot := range slots {
 			for _, v := range neighbors {
 				idx := int(v)*s.f + int(slot)
 				if s.state[idx] != slotUnknown || s.dropped() {
@@ -308,19 +453,25 @@ func (s *session) runRound(res *Result, round int) (txTags, txBits int) {
 				s.state[idx] = slotScheduled
 				s.unknownCount[v]--
 				s.schedCount[v]++
-				s.scheduled[v] = append(s.scheduled[v], slot)
+				s.pendTag = append(s.pendTag, v)
+				s.pendSlot = append(s.pendSlot, slot)
 			}
 			if s.tier1[i] && !s.roundBusy.Get(int(slot)) && !s.dropped() {
 				s.roundBusy.Set(int(slot))
 			}
 		}
 	}
+	// Release the CSR view: txLen back to all-zero, O(touched).
+	for _, t := range s.touched {
+		s.txLen[t] = 0
+	}
+	s.touched = s.touched[:0]
 	s.clock.ShortSlots += int64(s.f)
 
 	// Record what the reader learned this round.
-	newBusy := s.roundBusy.Clone()
-	newBusy.AndNot(s.known)
-	res.NewBusyPerRound = append(res.NewBusyPerRound, newBusy.Count())
+	s.newBusy.CopyFrom(s.roundBusy)
+	s.newBusy.AndNot(s.known)
+	s.newBusyPerRound = append(s.newBusyPerRound, s.newBusy.Count())
 	s.known.Or(s.roundBusy)
 
 	if t := s.cfg.Tracer; t != nil {
@@ -333,7 +484,7 @@ func (s *session) runRound(res *Result, round int) (txTags, txBits int) {
 			Slots:        int64(s.f),
 			Transmitters: txTags,
 			Bits:         int64(txBits),
-			NewBusy:      newBusy.Count(),
+			NewBusy:      s.newBusy.Count(),
 			KnownBusy:    s.known.Count(),
 		})
 	}
@@ -347,17 +498,13 @@ func (s *session) runRound(res *Result, round int) (txTags, txBits int) {
 	// K⌈f/96⌉ term).
 	segments := int64((s.f + energy.IDBits - 1) / energy.IDBits)
 	s.clock.LongSlots += segments
-	for i := 0; i < n; i++ {
-		if s.nw.Tier[i] == 0 {
-			continue // outside the system: receives nothing
-		}
-		s.meter.AddReceived(i, segments*energy.IDBits)
-	}
+	s.meter.AddReceivedWhere(segments*energy.IDBits, s.inSystem)
 	// Tags silence the newly announced slots: monitoring stops, and any
 	// still-scheduled relay of them is cancelled (repetitive replies would
 	// only re-produce a busy slot the reader already has).
-	newBusy.ForEach(func(slot int) {
-		for i := 0; i < n; i++ {
+	s.busyIdx = s.newBusy.AppendIndices(s.busyIdx[:0])
+	for _, slot := range s.busyIdx {
+		for i := 0; i < s.n; i++ {
 			idx := i*s.f + slot
 			switch s.state[idx] {
 			case slotUnknown:
@@ -368,7 +515,7 @@ func (s *session) runRound(res *Result, round int) (txTags, txBits int) {
 				s.schedCount[i]--
 			}
 		}
-	})
+	}
 	if t := s.cfg.Tracer; t != nil {
 		t.Trace(obs.Event{
 			Kind:     obs.KindIndicator,
@@ -377,7 +524,7 @@ func (s *session) runRound(res *Result, round int) (txTags, txBits int) {
 			Round:    round,
 			Slots:    segments,
 			Bits:     segments * energy.IDBits,
-			Count:    newBusy.Count(),
+			Count:    s.newBusy.Count(),
 		})
 	}
 	return txTags, txBits
@@ -387,20 +534,22 @@ func (s *session) runRound(res *Result, round int) (txTags, txBits int) {
 // another round is needed. Tags with pending transmissions respond in C[1];
 // a tag that hears a response in C[j] relays it once in C[j+1]; the reader
 // stops the frame at the first busy slot it senses.
-func (s *session) runCheckingFrame(res *Result, round int) bool {
-	n := s.nw.N()
+//
+// Monitoring energy is settled per tag instead of per slot — a tag that
+// joins the wave in C[j] listened through C[1..j] and then sleeps, a tag
+// that never responds listens through every executed slot — which charges
+// the exact totals of a slot-by-slot sweep in one O(n) pass. Out-of-system
+// tags (§II) neither monitor the checking frame nor relay its wave; the
+// inSystem mask keeps them silent and uncharged for the whole frame.
+func (s *session) runCheckingFrame(round int) bool {
 	lc := s.cfg.checkingFrameLen(s.nw)
 
-	responded := make([]bool, n)
-	var wave []int32 // tags transmitting in the current checking slot
-	for i := 0; i < n; i++ {
-		// Out-of-system tags (§II) neither monitor the checking frame nor
-		// relay its wave; marking them responded keeps them silent and
-		// uncharged for the whole frame.
-		responded[i] = s.nw.Tier[i] == 0
+	s.wave = s.wave[:0]
+	for i := 0; i < s.n; i++ {
 		if s.schedCount[i] > 0 {
-			responded[i] = true
-			wave = append(wave, int32(i))
+			s.responded[i] = true
+			s.respondedList = append(s.respondedList, int32(i))
+			s.wave = append(s.wave, int32(i))
 		}
 	}
 
@@ -408,20 +557,13 @@ func (s *session) runCheckingFrame(res *Result, round int) bool {
 	slotsUsed := 0
 	for j := 1; j <= lc; j++ {
 		slotsUsed++
-		// Transmitters pay one bit each. Everyone who has not responded yet
-		// listens and pays one monitored bit; tags that already responded
-		// sleep for the rest of the frame. (Current transmitters all carry
-		// responded=true, so the listener loop skips them — half duplex.)
-		for _, u := range wave {
+		// Transmitters pay one bit each; the reader then senses the slot.
+		// (Current transmitters all carry responded=true, so the listener
+		// accounting below never double-charges them — half duplex.)
+		for _, u := range s.wave {
 			s.meter.AddSent(int(u), 1)
 		}
-		for i := 0; i < n; i++ {
-			if !responded[i] {
-				s.meter.AddReceived(i, 1)
-			}
-		}
-		// Reader senses the slot.
-		for _, u := range wave {
+		for _, u := range s.wave {
 			if s.tier1[u] && !s.dropped() {
 				heard = true
 			}
@@ -430,36 +572,55 @@ func (s *session) runCheckingFrame(res *Result, round int) bool {
 			break
 		}
 		// Propagate the wave one hop: listeners adjacent to a transmitter
-		// respond in the next slot.
-		var next []int32
-		for _, u := range wave {
+		// respond in the next slot. A joiner monitored C[1..j] before
+		// responding, so its whole listening bill lands here.
+		s.waveNext = s.waveNext[:0]
+		for _, u := range s.wave {
 			for _, v := range s.nw.Neighbors(int(u)) {
-				if responded[v] || s.dropped() {
+				if s.responded[v] || !s.inSystem[v] || s.dropped() {
 					continue
 				}
-				responded[v] = true
-				next = append(next, v)
+				s.responded[v] = true
+				s.respondedList = append(s.respondedList, v)
+				s.meter.AddReceived(int(v), int64(j))
+				s.waveNext = append(s.waveNext, v)
 			}
 		}
-		wave = next
-		if len(wave) == 0 {
+		s.wave, s.waveNext = s.waveNext, s.wave
+		if len(s.wave) == 0 {
 			// The wave died out (or there never was one): the rest of the
 			// frame is guaranteed silent, but the reader cannot know that,
 			// so it still sits through the remaining slots. Tags keep
 			// monitoring too.
-			for j2 := j + 1; j2 <= lc; j2++ {
-				slotsUsed++
-				for i := 0; i < n; i++ {
-					if !responded[i] {
-						s.meter.AddReceived(i, 1)
-					}
-				}
-			}
+			slotsUsed = lc
 			break
 		}
 	}
+	// Keep the larger backing array in wave: the swap above leaves the
+	// buffers' capacities on whichever side the frame ended with, and the
+	// big allocation (the initial all-pending wave) always builds in wave —
+	// without this, a fresh arena re-grows the small side one frame (and
+	// one session) later instead of reaching its high-water mark on the
+	// first run.
+	if cap(s.waveNext) > cap(s.wave) {
+		s.wave, s.waveNext = s.waveNext, s.wave
+	}
+
+	// Settle the listeners that never responded: they monitored every
+	// executed slot.
+	for i := 0; i < s.n; i++ {
+		if s.inSystem[i] && !s.responded[i] {
+			s.meter.AddReceived(i, int64(slotsUsed))
+		}
+	}
+	// Clear the frame marks in O(marked).
+	for _, i := range s.respondedList {
+		s.responded[i] = false
+	}
+	s.respondedList = s.respondedList[:0]
+
 	s.clock.ShortSlots += int64(slotsUsed)
-	res.CheckSlotsPerRound = append(res.CheckSlotsPerRound, slotsUsed)
+	s.checkSlotsPerRound = append(s.checkSlotsPerRound, slotsUsed)
 	if t := s.cfg.Tracer; t != nil {
 		t.Trace(obs.Event{
 			Kind:     obs.KindCheck,

@@ -35,6 +35,40 @@ func (m *Meter) AddSent(i int, bits int64) { m.sent[i] += bits }
 // AddReceived charges bits of reception/monitoring energy to tag i.
 func (m *Meter) AddReceived(i int, bits int64) { m.recv[i] += bits }
 
+// AddReceivedCounts charges counts[i] received bits to every tag i at once —
+// the bulk form of the per-round monitoring charge, where tag i stays awake
+// for exactly its unknown slots. counts must have one entry per tracked tag.
+func (m *Meter) AddReceivedCounts(counts []int32) {
+	if len(counts) != len(m.recv) {
+		panic(fmt.Sprintf("energy: %d counts for meter of %d tags", len(counts), len(m.recv)))
+	}
+	for i, c := range counts {
+		m.recv[i] += int64(c)
+	}
+}
+
+// AddReceivedWhere charges bits received to every tag with include[i] true —
+// the bulk form of a broadcast charge over a fixed subset (e.g. the
+// indicator vector reaching every in-system tag). include must have one
+// entry per tracked tag.
+func (m *Meter) AddReceivedWhere(bits int64, include []bool) {
+	if len(include) != len(m.recv) {
+		panic(fmt.Sprintf("energy: %d mask entries for meter of %d tags", len(include), len(m.recv)))
+	}
+	for i, in := range include {
+		if in {
+			m.recv[i] += bits
+		}
+	}
+}
+
+// Reset zeroes every counter in place, so one meter allocation can be reused
+// across protocol runs (arena-style pooling).
+func (m *Meter) Reset() {
+	clear(m.sent)
+	clear(m.recv)
+}
+
 // Sent returns the bits sent by tag i.
 func (m *Meter) Sent(i int) int64 { return m.sent[i] }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"netags/internal/core"
@@ -296,6 +297,21 @@ func runProtocol(p Protocol, nw *topology.Network, cfg Config, seed uint64) (ene
 	return energy.Clock{}, nil, fmt.Errorf("experiment: unknown protocol %q", p)
 }
 
+// runnerPool amortizes core session scratch across the sweep's worker pool:
+// trials executing on the same worker reuse one arena instead of allocating
+// fresh per-round state every session. Which Runner serves which trial never
+// affects results — Runners are behaviorally identical to fresh state
+// (simtest's TestRunnerNoStateBleed pins this) — so pooling preserves the
+// package's bit-identical-across-Workers guarantee.
+var runnerPool = sync.Pool{New: func() any { return core.NewRunner() }}
+
+// runSessionPooled is core.RunSession through the worker-shared arena pool.
+func runSessionPooled(nw *topology.Network, cfg core.Config) (*core.Result, error) {
+	r := runnerPool.Get().(*core.Runner)
+	defer runnerPool.Put(r)
+	return r.Run(nw, cfg)
+}
+
 type ccmRun struct {
 	clock energy.Clock
 	meter *energy.Meter
@@ -315,7 +331,7 @@ func runCCM(nw *topology.Network, frame int, sampling float64, seed uint64, noIn
 		// everything.
 		cfg.MaxRounds = 4 * nw.Ranges.CheckingFrameLen()
 	}
-	res, err := core.RunSession(nw, cfg)
+	res, err := runSessionPooled(nw, cfg)
 	if err != nil {
 		return nil, err
 	}

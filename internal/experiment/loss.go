@@ -128,7 +128,7 @@ func RunLossSweepPartial(ctx context.Context, cfg LossConfig, skip []bool, point
 				LossSeed:  seeds.Aux,
 				Tracer:    cfg.Tracer,
 			}
-			got, err := core.RunSession(nw, cc)
+			got, err := runSessionPooled(nw, cc)
 			if err != nil {
 				return lossTrial{}, err
 			}

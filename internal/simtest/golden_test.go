@@ -1,0 +1,133 @@
+package simtest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netags/internal/core"
+)
+
+// goldenCase is one pinned session: a scenario seed plus a config variant.
+// The variants cover every structurally distinct session path: the reliable
+// default, the lossy channel (which exercises the PRNG draw order of the
+// delivery and checking-frame loops), the flooding ablation, and a
+// round-bounded truncated run that ends with state still pending.
+type goldenCase struct {
+	name    string
+	seed    uint64
+	variant string
+}
+
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, seed := range []uint64{
+		0x7e05_0001, 0x7e05_0002, 0x7e05_0003, 0x7e05_0004,
+		0x7e05_0005, 0x7e05_0006, 0x7e05_0007, 0x7e05_0008,
+	} {
+		for _, variant := range []string{"reliable", "lossy", "no-indicator", "truncated"} {
+			cases = append(cases, goldenCase{
+				name:    fmt.Sprintf("seed%#x/%s", seed, variant),
+				seed:    seed,
+				variant: variant,
+			})
+		}
+	}
+	return cases
+}
+
+// run executes the case's session and returns its Result.
+func (gc goldenCase) run(t *testing.T) (*Scenario, *core.Result) {
+	t.Helper()
+	sc := NewScenario(gc.seed)
+	cfg := sc.NewConfig(sc.Source(5))
+	switch gc.variant {
+	case "reliable":
+	case "lossy":
+		cfg.LossProb = 0.25
+		cfg.LossSeed = gc.seed
+	case "no-indicator":
+		cfg.DisableIndicatorVector = true
+		cfg.MaxRounds = 4 * (sc.Network.K + 2)
+		cfg.CheckingFrameLen = sc.Network.K + 2
+	case "truncated":
+		cfg.MaxRounds = 1
+	default:
+		t.Fatalf("unknown variant %q", gc.variant)
+	}
+	res, err := core.RunSession(sc.Network, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", gc.name, err)
+	}
+	return sc, res
+}
+
+// fingerprint hashes every observable facet of a Result: the bitmap, the
+// round count, the slot clock, the truncation flag, both per-round
+// diagnostic series, and the full per-tag energy meter. Any behavioral
+// divergence in the session kernel lands in this hash.
+func fingerprint(res *core.Result) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "bitmap n=%d:", res.Bitmap.Len())
+	res.Bitmap.ForEach(func(i int) { fmt.Fprintf(h, " %d", i) })
+	fmt.Fprintf(h, "\nrounds=%d truncated=%v clock=%d/%d\n",
+		res.Rounds, res.Truncated, res.Clock.ShortSlots, res.Clock.LongSlots)
+	fmt.Fprintf(h, "newbusy=%v check=%v\n", res.NewBusyPerRound, res.CheckSlotsPerRound)
+	for i := 0; i < res.Meter.N(); i++ {
+		fmt.Fprintf(h, "tag %d sent=%d recv=%d\n", i, res.Meter.Sent(i), res.Meter.Received(i))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+const goldenPath = "testdata/session_golden.json"
+
+// TestSessionResultGolden pins byte-identical Result output across session
+// kernel refactors: the golden hashes were generated from the pre-arena
+// [][]int32 implementation, so the pooled CSR path must reproduce every
+// bitmap bit, clock tick, diagnostic series, and per-tag energy count
+// exactly. Regenerate deliberately with UPDATE_SESSION_GOLDEN=1 only when a
+// semantic change is intended.
+func TestSessionResultGolden(t *testing.T) {
+	got := make(map[string]string)
+	for _, gc := range goldenCases() {
+		_, res := gc.run(t)
+		got[gc.name] = fingerprint(res)
+	}
+
+	if os.Getenv("UPDATE_SESSION_GOLDEN") == "1" {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden fingerprints to %s", len(got), goldenPath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with UPDATE_SESSION_GOLDEN=1): %v", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, test produced %d", len(want), len(got))
+	}
+	for name, wantHash := range want {
+		if got[name] != wantHash {
+			t.Errorf("%s: fingerprint %s != golden %s (session output diverged)",
+				name, got[name], wantHash)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package simtest
+
+import (
+	"testing"
+
+	"netags/internal/core"
+)
+
+// TestRunnerNoStateBleed holds the pooled Runner to the fresh-state path:
+// running many different scenarios back-to-back through ONE Runner must
+// produce Results byte-identical (full fingerprint: bitmap, rounds, clock,
+// truncation, diagnostics, per-tag energy) to fresh RunSession calls.
+//
+// The config rotation is chosen to leave maximal dirt in the arena between
+// runs: lossy sessions leave the loss PRNG mid-stream, and round-bounded
+// sessions end with pending transmissions, live touched/responded marks, and
+// non-empty CSR scratch. Scenario sizes and frame sizes vary, so the arena
+// also grows and shrinks across the sequence.
+func TestRunnerNoStateBleed(t *testing.T) {
+	runner := core.NewRunner()
+	for i, seed := range ScenarioSeeds(0xb1eed, 80) {
+		sc := NewScenario(seed)
+		cfg := sc.NewConfig(sc.Source(11))
+		switch i % 3 {
+		case 1:
+			cfg.LossProb = 0.3
+			cfg.LossSeed = seed
+		case 2:
+			cfg.MaxRounds = 1 // usually truncates: pending state stays behind
+		}
+		pooled, err := runner.Run(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("scenario %#x: pooled run: %v", seed, err)
+		}
+		fresh, err := core.RunSession(sc.Network, cfg)
+		if err != nil {
+			t.Fatalf("scenario %#x: fresh run: %v", seed, err)
+		}
+		if got, want := fingerprint(pooled), fingerprint(fresh); got != want {
+			t.Fatalf("scenario %#x (variant %d): pooled Runner diverged from fresh state:\npooled %s\nfresh  %s\nreplay with simtest.NewScenario(%#x)",
+				seed, i%3, got, want, seed)
+		}
+	}
+}
