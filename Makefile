@@ -30,6 +30,12 @@ test-scale:
 serve-e2e:
 	./scripts/serve_e2e.sh
 
+# Telemetry load smoke against a real ccmserve process: gentle ccmload run
+# gated on its p99/alert/series checks, then induced overload to watch the
+# burn-rate alert fire and resolve (API, /metrics, and structured log).
+load-smoke:
+	./scripts/load_smoke.sh
+
 # Short coverage-guided runs of every native fuzz target, one at a time (the
 # go tool accepts a single -fuzz pattern per package invocation). The
 # checked-in corpora under */testdata/fuzz/ always run as plain tests; this
@@ -57,8 +63,8 @@ bench-sweep:
 # off (pinned at zero allocs) and fully on. The raw `go test -bench` lines
 # plus per-benchmark mean/min/max rollups land in BENCH_observability.json
 # (recover a benchstat input with `jq -r '.benchmarks[].raw'`).
-BENCH_PKGS    = ./internal/core/ ./internal/bitmap/ ./internal/experiment/ ./internal/serve/
-BENCH_PATTERN = 'SessionTracer|SessionN|RunnerReuse|Bitmap|SweepWorkers|TrackerObserve|ServeSpecKey|ServeCacheGet|ServeSubmitHit|ServePointDone'
+BENCH_PKGS    = ./internal/core/ ./internal/bitmap/ ./internal/experiment/ ./internal/serve/ ./internal/obs/timeseries/
+BENCH_PATTERN = 'SessionTracer|SessionN|RunnerReuse|Bitmap|SweepWorkers|TrackerObserve|ServeSpecKey|ServeCacheGet|ServeSubmitHit|ServePointDone|Timeseries'
 bench:
 	go test -bench=$(BENCH_PATTERN) -benchmem -count=5 -run='^$$' $(BENCH_PKGS) \
 		| tee /dev/stderr | go run ./internal/tools/benchjson > BENCH_observability.json
@@ -78,4 +84,4 @@ bench-compare:
 			-baseline BENCH_observability.json \
 			-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
-.PHONY: verify test-scale serve-e2e fuzz-smoke bench bench-sweep bench-compare
+.PHONY: verify test-scale serve-e2e load-smoke fuzz-smoke bench bench-sweep bench-compare

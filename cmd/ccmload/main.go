@@ -1,0 +1,339 @@
+// Command ccmload is an open-loop load generator for ccmserve: it submits
+// sweep jobs at a target rate regardless of how fast the server completes
+// them (so overload shows up as queue growth, backpressure rejections, and
+// SLO burn — exactly what a closed-loop driver would hide), then reports
+// end-to-end latency percentiles and checks the server's own verdicts.
+//
+//	ccmload -addr 127.0.0.1:8080 -rps 2 -duration 20s \
+//	    -max-p99 10s -fail-on-alerts \
+//	    -check-series serve_queue_len,sim_sessions_total,runtime_goroutines
+//
+// Exit codes: 0 success, 1 operational error (server unreachable, bad
+// flags), 2 at least one SLO violation (-max-p99 exceeded, unfinished jobs
+// under -max-p99, firing alerts under -fail-on-alerts, or a -check-series
+// name missing/empty).
+//
+// The job mix: each submission is "small" or "large" (-large-ratio), and
+// "interactive" or "bulk" (-bulk-ratio), drawn from a seeded PRNG so a
+// given flag set replays the same schedule. Seeds vary per submission so
+// every job is a genuine cache miss; pass -unique=false to let the result
+// cache absorb repeats instead.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"netags/internal/serve"
+)
+
+func main() {
+	violations, err := run(context.Background(), os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccmload:", err)
+		os.Exit(1)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "ccmload: VIOLATION:", v)
+		}
+		os.Exit(2)
+	}
+}
+
+// jobSpec builds one submission's spec from the size class. The sizes are
+// tuned so "small" computes in tens of milliseconds and "large" in high
+// hundreds on one worker — enough spread to make a priority mix meaningful
+// without making low-RPS smoke runs slow.
+func jobSpec(large bool, seed uint64) serve.JobSpec {
+	if large {
+		return serve.JobSpec{N: 1200, Trials: 2, RValues: []float64{3, 5, 7, 9}, Seed: seed}
+	}
+	return serve.JobSpec{N: 400, Trials: 1, RValues: []float64{4, 6}, Seed: seed}
+}
+
+// result is one submission's outcome.
+type result struct {
+	rejected bool // 429 backpressure
+	failed   bool // submit error or terminal failed/canceled
+	finished bool
+	e2e      time.Duration
+}
+
+type counters struct {
+	mu        sync.Mutex
+	submitted int
+	results   []result
+}
+
+func (c *counters) add(r result) {
+	c.mu.Lock()
+	c.results = append(c.results, r)
+	c.mu.Unlock()
+}
+
+// percentile returns the nearest-rank p-quantile of sorted durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func run(ctx context.Context, args []string, out io.Writer) ([]string, error) {
+	fs := flag.NewFlagSet("ccmload", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "", "ccmserve address (host:port), required")
+		rps          = fs.Float64("rps", 2, "target submissions per second (open loop)")
+		duration     = fs.Duration("duration", 20*time.Second, "load generation window")
+		drain        = fs.Duration("drain", 60*time.Second, "extra time to wait for in-flight jobs after generation ends")
+		bulkRatio    = fs.Float64("bulk-ratio", 0.2, "fraction of submissions in the bulk priority class")
+		largeRatio   = fs.Float64("large-ratio", 0.2, "fraction of submissions using the large job preset")
+		clients      = fs.Int("clients", 4, "distinct client identities to spread submissions across")
+		seed         = fs.Uint64("seed", 1, "base PRNG seed; per-job spec seeds derive from it")
+		unique       = fs.Bool("unique", true, "give every job a distinct seed (cache miss); false exercises the result cache")
+		maxP99       = fs.Duration("max-p99", 0, "fail (exit 2) when the completed-job e2e p99 exceeds this (0 = no bound)")
+		failOnAlerts = fs.Bool("fail-on-alerts", false, "fail (exit 2) when /api/v1/alerts reports firing rules after the run")
+		checkSeries  = fs.String("check-series", "", "comma-separated series names that must be non-empty on /api/v1/timeseries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *addr == "" {
+		return nil, errors.New("-addr is required")
+	}
+	if *rps <= 0 {
+		return nil, errors.New("-rps must be > 0")
+	}
+	base := "http://" + *addr
+	cl := &serve.Client{BaseURL: base}
+	rng := rand.New(rand.NewPCG(*seed, 0xccb10ad))
+
+	// One quick health probe so a typo'd address fails fast and clearly
+	// instead of as a pile of per-job errors.
+	if err := probe(ctx, base); err != nil {
+		return nil, err
+	}
+
+	var (
+		cnt     counters
+		wg      sync.WaitGroup
+		stopGen = time.After(*duration)
+		tick    = time.NewTicker(time.Duration(float64(time.Second) / *rps))
+	)
+	defer tick.Stop()
+	start := time.Now()
+	fmt.Fprintf(out, "ccmload: driving %s at %.1f rps for %s (bulk %.0f%%, large %.0f%%)\n",
+		*addr, *rps, *duration, *bulkRatio*100, *largeRatio*100)
+
+	awaitCtx, cancelAwait := context.WithDeadline(ctx, start.Add(*duration+*drain))
+	defer cancelAwait()
+
+	i := 0
+gen:
+	for {
+		select {
+		case <-ctx.Done():
+			break gen
+		case <-stopGen:
+			break gen
+		case <-tick.C:
+		}
+		i++
+		cnt.submitted++
+		large := rng.Float64() < *largeRatio
+		bulk := rng.Float64() < *bulkRatio
+		specSeed := *seed
+		if *unique {
+			specSeed = *seed + uint64(i)
+		}
+		spec := jobSpec(large, specSeed)
+		opts := serve.SubmitOptions{Client: fmt.Sprintf("load-%d", i%*clients)}
+		if bulk {
+			opts.Priority = serve.PriorityBulk
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			sub, err := cl.Submit(awaitCtx, spec, opts)
+			if err != nil {
+				var busy *serve.ErrBusy
+				if errors.As(err, &busy) {
+					cnt.add(result{rejected: true})
+				} else {
+					cnt.add(result{failed: true})
+				}
+				return
+			}
+			st, err := cl.Wait(awaitCtx, sub.ID, 100*time.Millisecond)
+			switch {
+			case err != nil:
+				cnt.add(result{}) // unfinished: deadline passed while queued/running
+			case st.State == serve.StateDone:
+				cnt.add(result{finished: true, e2e: time.Since(t0)})
+			default:
+				cnt.add(result{failed: true})
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Tally.
+	var accepted, rejected, failed, finished, unfinished int
+	var lats []time.Duration
+	for _, r := range cnt.results {
+		switch {
+		case r.rejected:
+			rejected++
+		case r.failed:
+			failed++
+		case r.finished:
+			accepted++
+			finished++
+			lats = append(lats, r.e2e)
+		default:
+			accepted++
+			unfinished++
+		}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	p50, p90, p99 := percentile(lats, 0.50), percentile(lats, 0.90), percentile(lats, 0.99)
+
+	fmt.Fprintf(out, "ccmload: submitted=%d accepted=%d rejected=%d failed=%d finished=%d unfinished=%d in %s (%.2f rps achieved)\n",
+		cnt.submitted, accepted, rejected, failed, finished, unfinished,
+		elapsed.Round(time.Millisecond), float64(cnt.submitted)/elapsed.Seconds())
+	fmt.Fprintf(out, "ccmload: e2e latency p50=%s p90=%s p99=%s (n=%d)\n",
+		p50.Round(time.Millisecond), p90.Round(time.Millisecond), p99.Round(time.Millisecond), len(lats))
+
+	var violations []string
+	if *maxP99 > 0 {
+		if unfinished > 0 {
+			violations = append(violations,
+				fmt.Sprintf("%d jobs still unfinished after drain — treat as p99 breach", unfinished))
+		}
+		if p99 > *maxP99 {
+			violations = append(violations, fmt.Sprintf("e2e p99 %s exceeds bound %s", p99, *maxP99))
+		}
+	}
+	if failed > 0 {
+		violations = append(violations, fmt.Sprintf("%d jobs failed", failed))
+	}
+
+	if *failOnAlerts {
+		firing, names, err := fetchAlerts(ctx, base)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "ccmload: alerts firing=%d %v\n", firing, names)
+		if firing > 0 {
+			violations = append(violations, fmt.Sprintf("alerts firing after run: %v", names))
+		}
+	}
+	if *checkSeries != "" {
+		missing, err := checkTimeseries(ctx, base, strings.Split(*checkSeries, ","))
+		if err != nil {
+			return nil, err
+		}
+		if len(missing) > 0 {
+			violations = append(violations, fmt.Sprintf("timeseries empty or missing: %v", missing))
+		} else {
+			fmt.Fprintf(out, "ccmload: timeseries check passed (%s)\n", *checkSeries)
+		}
+	}
+	return violations, nil
+}
+
+func probe(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// fetchAlerts reads /api/v1/alerts and returns the firing count and names.
+func fetchAlerts(ctx context.Context, base string) (int, []string, error) {
+	var body struct {
+		Firing int `json:"firing"`
+		Alerts []struct {
+			Rule   string `json:"rule"`
+			Firing bool   `json:"firing"`
+		} `json:"alerts"`
+	}
+	if err := getJSON(ctx, base+"/api/v1/alerts", &body); err != nil {
+		return 0, nil, fmt.Errorf("alerts: %w", err)
+	}
+	var names []string
+	for _, a := range body.Alerts {
+		if a.Firing {
+			names = append(names, a.Rule)
+		}
+	}
+	return body.Firing, names, nil
+}
+
+// checkTimeseries verifies each named series exists with at least one
+// point on /api/v1/timeseries.
+func checkTimeseries(ctx context.Context, base string, names []string) ([]string, error) {
+	var body struct {
+		Series map[string][]struct {
+			T int64   `json:"t"`
+			V float64 `json:"v"`
+		} `json:"series"`
+	}
+	if err := getJSON(ctx, base+"/api/v1/timeseries", &body); err != nil {
+		return nil, fmt.Errorf("timeseries: %w", err)
+	}
+	var missing []string
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if pts := body.Series[n]; len(pts) == 0 {
+			missing = append(missing, n)
+		}
+	}
+	return missing, nil
+}
+
+func getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"netags/internal/obs"
+	"netags/internal/obs/httpserve"
+	"netags/internal/obs/timeseries"
+	"netags/internal/serve"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if _, err := run(context.Background(), nil, &strings.Builder{}); err == nil {
+		t.Fatal("expected error without -addr")
+	}
+	if _, err := run(context.Background(), []string{"-addr", "x", "-rps", "0"}, &strings.Builder{}); err == nil {
+		t.Fatal("expected error for -rps 0")
+	}
+}
+
+func TestRunUnreachableServer(t *testing.T) {
+	// A port nothing listens on: the health probe must fail fast (exit 1
+	// path), not degenerate into a full run of per-job errors.
+	_, err := run(context.Background(), []string{"-addr", "127.0.0.1:1", "-duration", "1s"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("want unreachable error, got %v", err)
+	}
+}
+
+// TestRunAgainstLiveServer drives a real in-process ccmserve stack — manager,
+// timeseries sampler, alert evaluator — exactly as cmd/ccmserve wires it,
+// and asserts a short low-RPS run passes every check ccmload offers.
+func TestRunAgainstLiveServer(t *testing.T) {
+	collector := obs.NewCollector()
+	m := serve.NewManager(serve.Config{
+		QueueDepth: 64,
+		Workers:    2,
+		MaxJobs:    256,
+		Tracer:     collector,
+	})
+	db := timeseries.New(50*time.Millisecond, time.Minute)
+	eval := timeseries.NewEvaluator(db, serve.DefaultSLORules(), nil)
+	sampler := timeseries.NewSampler(db,
+		m.TimeseriesSource(),
+		timeseries.CollectorSource(collector),
+		timeseries.RuntimeSource(),
+	)
+	sampler.OnTick(eval.Evaluate)
+	sampler.Start()
+	defer sampler.Stop()
+
+	srv, err := serve.StartServer("127.0.0.1:0", m,
+		httpserve.Options{Collector: collector, Timeseries: db, Alerts: eval}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out strings.Builder
+	violations, err := run(context.Background(), []string{
+		"-addr", srv.Addr(),
+		"-rps", "20",
+		"-duration", "500ms",
+		"-drain", "20s",
+		"-large-ratio", "0",
+		"-max-p99", "30s",
+		"-fail-on-alerts",
+		"-check-series", "serve_queue_len,serve_jobs_executed_total,sim_sessions_total,runtime_goroutines",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations %v\noutput:\n%s", violations, out.String())
+	}
+	for _, want := range []string{"e2e latency", "alerts firing=0", "timeseries check passed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	d := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(d, 0.50); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := percentile(d, 0.99); got != 10 {
+		t.Errorf("p99 = %d, want 10", got)
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty p99 = %d, want 0", got)
+	}
+}

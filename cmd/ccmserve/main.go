@@ -36,8 +36,31 @@ import (
 
 	"netags/internal/obs"
 	"netags/internal/obs/httpserve"
+	"netags/internal/obs/timeseries"
 	"netags/internal/serve"
 )
+
+// loadRules resolves the -slo-rules flag: "off" disables alerting, empty
+// installs the built-in defaults, a leading '[' is inline JSON, anything
+// else is read as a file path.
+func loadRules(arg string) ([]timeseries.Rule, error) {
+	arg = strings.TrimSpace(arg)
+	switch arg {
+	case "off", "none":
+		return nil, nil
+	case "":
+		return serve.DefaultSLORules(), nil
+	}
+	data := []byte(arg)
+	if !strings.HasPrefix(arg, "[") {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, fmt.Errorf("-slo-rules: %w", err)
+		}
+		data = b
+	}
+	return timeseries.ParseRules(data)
+}
 
 func main() {
 	if err := run(context.Background(), os.Args[1:], nil); err != nil {
@@ -90,6 +113,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		traceEvents = fs.Int("trace-events", 0, "lifecycle trace events retained per job (0 = default 256, negative disables /trace)")
 		logLevel    = fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		logFormat   = fs.String("log-format", "text", "log encoding on stderr: text|json")
+		tsRes       = fs.Duration("ts-resolution", time.Second, "timeseries sampling interval (0 disables the history engine, dashboard, and alerts)")
+		tsRet       = fs.Duration("ts-retention", 15*time.Minute, "timeseries history window per series")
+		sloRules    = fs.String("slo-rules", "", "SLO alert rules: a JSON file path, inline JSON ('[...]'), or 'off' (empty = built-in defaults)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,7 +147,55 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Logger:            logger,
 		TraceEventsPerJob: *traceEvents,
 	})
-	srv, err := serve.StartServer(*addr, m, httpserve.Options{Collector: collector, Ring: ring}, *drain)
+	// Time-series engine + SLO evaluator: a background sampler snapshots the
+	// manager, the sim collector, and the Go runtime once per resolution;
+	// the evaluator judges the rules on every tick. All observe-only — with
+	// -ts-resolution 0 none of it exists and no goroutine runs.
+	obsOpts := httpserve.Options{Collector: collector, Ring: ring}
+	if *tsRes > 0 {
+		rules, err := loadRules(*sloRules)
+		if err != nil {
+			return err
+		}
+		db := timeseries.New(*tsRes, *tsRet)
+		var eval *timeseries.Evaluator
+		if len(rules) > 0 {
+			eval = timeseries.NewEvaluator(db, rules, func(r timeseries.Rule, firing bool, measured float64) {
+				state := "resolved"
+				level := slog.LevelInfo
+				if firing {
+					state = "firing"
+					level = slog.LevelWarn
+				}
+				logger.LogAttrs(context.Background(), level, "slo alert "+state,
+					slog.String("rule", r.Name), slog.Float64("measured", measured),
+					slog.Float64("window_s", r.WindowS))
+				if ring != nil {
+					ring.Trace(obs.Event{
+						Kind: obs.KindAlert, Protocol: obs.ProtoSLO,
+						Phase: r.Name + ":" + state, Value: measured,
+					})
+				}
+			})
+		}
+		sampler := timeseries.NewSampler(db,
+			m.TimeseriesSource(),
+			timeseries.CollectorSource(collector),
+			timeseries.RuntimeSource(),
+		)
+		if eval != nil {
+			sampler.OnTick(eval.Evaluate)
+		}
+		sampler.Start()
+		defer sampler.Stop()
+		obsOpts.Timeseries = db
+		obsOpts.Alerts = eval
+		logger.Info("timeseries sampler started",
+			"resolution", tsRes.String(), "retention", tsRet.String(),
+			"series_cap", db.SeriesCap(), "rules", len(rules))
+	}
+
+	srv, err := serve.StartServer(*addr, m, obsOpts, *drain)
 	if err != nil {
 		return err
 	}
@@ -132,7 +206,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	logger.Info("ccmserve started",
 		"addr", srv.Addr(), "pool", *pool, "queue", *queueDepth, "cache", *cacheCap,
 		"checkpoint_dir", *ckptDir, "checkpoint_ttl", ckptTTL.String(),
-		"log_level", *logLevel, "log_format", *logFormat)
+		"ts_resolution", tsRes.String(), "log_level", *logLevel, "log_format", *logFormat)
 	if ready != nil {
 		ready <- srv.Addr()
 	}

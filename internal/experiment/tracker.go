@@ -14,6 +14,7 @@ import (
 type Tracker struct {
 	mu        sync.Mutex
 	start     time.Time
+	runStart  time.Time // set by MarkRunStart; anchors throughput and ETA
 	total     int
 	completed int
 	timing    *Timing
@@ -35,6 +36,20 @@ func (t *Tracker) SetTotal(n int) {
 	t.mu.Unlock()
 }
 
+// MarkRunStart anchors the throughput/ETA clock at "execution begins now"
+// instead of tracker construction. A served job's tracker is created at
+// submission, possibly long before a worker dequeues the job — without this
+// anchor the queue wait (or, on a resumed sweep, the pre-resume idle time)
+// is folded into the per-item rate and the ETA overstates the remaining
+// time. Idempotent: only the first call sets the anchor (Reset clears it).
+func (t *Tracker) MarkRunStart() {
+	t.mu.Lock()
+	if t.runStart.IsZero() {
+		t.runStart = time.Now()
+	}
+	t.mu.Unlock()
+}
+
 // Reset returns the tracker to its freshly-constructed state: counts and
 // per-point timing cleared, the elapsed clock restarted. A long-lived server
 // that reuses one tracker across sweeps must Reset between them, or the
@@ -43,6 +58,7 @@ func (t *Tracker) SetTotal(n int) {
 func (t *Tracker) Reset() {
 	t.mu.Lock()
 	t.start = time.Now()
+	t.runStart = time.Time{}
 	t.total = 0
 	t.completed = 0
 	t.timing = NewTiming()
@@ -125,6 +141,15 @@ func (t *Tracker) Snapshot() TrackerSnapshot {
 		Done:      t.total > 0 && t.completed >= t.total,
 	}
 	elapsed := time.Since(t.start)
+	// Rate and ETA extrapolate from the run-start anchor when one was
+	// marked, so time spent queued (or skipped by a checkpoint resume)
+	// never inflates the per-item estimate. ElapsedMS stays wall time since
+	// construction — "how long has this job existed" is a different
+	// question from "how fast is it going".
+	runElapsed := elapsed
+	if !t.runStart.IsZero() {
+		runElapsed = time.Since(t.runStart)
+	}
 	if t.hasLast {
 		last := t.last
 		s.Last = &last
@@ -133,10 +158,10 @@ func (t *Tracker) Snapshot() TrackerSnapshot {
 	t.mu.Unlock()
 
 	s.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
-	if elapsed > 0 && s.Completed > 0 {
-		s.ItemsPerSec = float64(s.Completed) / elapsed.Seconds()
+	if runElapsed > 0 && s.Completed > 0 {
+		s.ItemsPerSec = float64(s.Completed) / runElapsed.Seconds()
 		if s.Total > s.Completed {
-			perItem := float64(elapsed) / float64(s.Completed)
+			perItem := float64(runElapsed) / float64(s.Completed)
 			s.ETAMS = perItem * float64(s.Total-s.Completed) / float64(time.Millisecond)
 		}
 	}

@@ -228,3 +228,36 @@ func TestProgressJSONSweepFields(t *testing.T) {
 		t.Errorf("String() = %q", s)
 	}
 }
+
+// TestTrackerETAExcludesPreRunDelay pins the resume-ETA fix: time spent
+// before execution starts (queue wait, checkpoint load, a previous process
+// having done half the work) must not dilute the throughput estimate. A
+// tracker that idles 100ms, then completes points quickly, should report a
+// small ETA — not one extrapolated from the idle period.
+func TestTrackerETAExcludesPreRunDelay(t *testing.T) {
+	tr := NewTracker()
+	tr.SetTotal(4)
+	time.Sleep(100 * time.Millisecond) // queue wait before the run starts
+	tr.MarkRunStart()
+	tr.MarkRunStart() // idempotent: second call must not move the anchor
+	tr.Observe(Progress{Sweep: "range", R: 6, Trial: 0, Trials: 4})
+	tr.Observe(Progress{Sweep: "range", R: 6, Trial: 1, Trials: 4})
+	s := tr.Snapshot()
+	if s.ElapsedMS < 100 {
+		t.Fatalf("ElapsedMS = %g, want >= 100 (wall time since construction)", s.ElapsedMS)
+	}
+	// Without MarkRunStart the estimate would be ~(elapsed/2)*2 >= 100ms;
+	// anchored at run start the two points completed in microseconds.
+	if s.ETAMS >= 50 {
+		t.Fatalf("ETAMS = %g, want < 50 (pre-run delay leaked into throughput)", s.ETAMS)
+	}
+	if s.ItemsPerSec <= 0 {
+		t.Fatalf("ItemsPerSec = %g, want > 0", s.ItemsPerSec)
+	}
+
+	// Reset clears the anchor along with the counts.
+	tr.Reset()
+	if s := tr.Snapshot(); s.Completed != 0 || s.ETAMS != 0 {
+		t.Fatalf("post-Reset snapshot = %+v", s)
+	}
+}

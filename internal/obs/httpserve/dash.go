@@ -1,0 +1,89 @@
+package httpserve
+
+// dashHTML is the zero-dependency live dashboard served at /debug/dash: a
+// single static page whose inline script polls /api/v1/timeseries and
+// /api/v1/alerts and renders one SVG sparkline per series. No external
+// assets, no frameworks, no build step — it must work from a binary on an
+// air-gapped box through nothing but curl-visible endpoints.
+const dashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>netags dash</title>
+<style>
+  body { font: 13px/1.4 ui-monospace, SFMono-Regular, Menlo, monospace;
+         background: #111; color: #ddd; margin: 1.5em; }
+  h1 { font-size: 15px; } h1 small { color: #777; font-weight: normal; }
+  #alerts { margin: .6em 0 1.2em; }
+  .alert { display: inline-block; padding: .15em .6em; margin-right: .5em;
+           border-radius: 3px; background: #1d3a1d; color: #9e9; }
+  .alert.firing { background: #5a1d1d; color: #f99; font-weight: bold; }
+  #grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(320px, 1fr));
+          gap: .8em; }
+  .card { background: #1a1a1a; border: 1px solid #2a2a2a; border-radius: 4px;
+          padding: .5em .7em; }
+  .card .name { color: #8cf; }
+  .card .val { float: right; color: #fff; }
+  svg { width: 100%; height: 48px; display: block; margin-top: .3em; }
+  polyline { fill: none; stroke: #6cf; stroke-width: 1.2; }
+  .err { color: #f77; }
+</style>
+</head>
+<body>
+<h1>netags self-observation <small id="ts"></small></h1>
+<div id="alerts"></div>
+<div id="grid"></div>
+<script>
+"use strict";
+function fmt(v) {
+  if (!isFinite(v)) return "-";
+  const a = Math.abs(v);
+  if (a >= 1e9) return (v/1e9).toFixed(1) + "G";
+  if (a >= 1e6) return (v/1e6).toFixed(1) + "M";
+  if (a >= 1e3) return (v/1e3).toFixed(1) + "k";
+  if (a === 0 || a >= 1) return v.toFixed(a >= 100 ? 0 : 2);
+  return v.toPrecision(2);
+}
+function spark(pts) {
+  if (!pts.length) return "";
+  const w = 300, h = 48, pad = 2;
+  let lo = Infinity, hi = -Infinity;
+  for (const p of pts) { lo = Math.min(lo, p.v); hi = Math.max(hi, p.v); }
+  if (hi === lo) { hi += 1; lo -= 1; }
+  const t0 = pts[0].t, t1 = pts[pts.length - 1].t || t0 + 1;
+  const xy = pts.map(p => {
+    const x = pad + (w - 2*pad) * (t1 === t0 ? 1 : (p.t - t0) / (t1 - t0));
+    const y = h - pad - (h - 2*pad) * (p.v - lo) / (hi - lo);
+    return x.toFixed(1) + "," + y.toFixed(1);
+  }).join(" ");
+  return '<svg viewBox="0 0 ' + w + ' ' + h + '" preserveAspectRatio="none">' +
+         '<polyline points="' + xy + '"/></svg>';
+}
+async function refresh() {
+  try {
+    const [tsr, alr] = await Promise.all([
+      fetch("/api/v1/timeseries?since=600s").then(r => r.json()),
+      fetch("/api/v1/alerts").then(r => r.ok ? r.json() : {alerts: []}),
+    ]);
+    const grid = document.getElementById("grid");
+    grid.innerHTML = Object.keys(tsr.series).sort().map(name => {
+      const pts = tsr.series[name];
+      const last = pts.length ? pts[pts.length - 1].v : NaN;
+      return '<div class="card"><span class="name">' + name + '</span>' +
+             '<span class="val">' + fmt(last) + '</span>' + spark(pts) + '</div>';
+    }).join("");
+    const alerts = document.getElementById("alerts");
+    alerts.innerHTML = (alr.alerts || []).map(a =>
+      '<span class="alert' + (a.firing ? " firing" : "") + '">' + a.rule +
+      (a.firing ? " FIRING" : " ok") + '</span>').join("") || "<span>no alert rules</span>";
+    document.getElementById("ts").textContent = new Date().toLocaleTimeString();
+  } catch (e) {
+    document.getElementById("ts").innerHTML = '<span class="err">' + e + "</span>";
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

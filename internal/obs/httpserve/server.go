@@ -3,13 +3,16 @@
 // long-running sweep observable while it runs instead of only after it
 // exits. It serves:
 //
-//	/metrics       Prometheus text exposition of the live obs.Collector
-//	               snapshot, histogram buckets included
-//	/progress      JSON of the running sweep (completed/total work items,
-//	               per-point timing, throughput, ETA) from an
-//	               experiment.Tracker-style source
-//	/events?n=K    the most recent K events retained by an obs.Ring
-//	/debug/pprof/  the standard runtime profiles
+//	/metrics             Prometheus text exposition of the live obs.Collector
+//	                     snapshot, histogram buckets included
+//	/progress            JSON of the running sweep (completed/total work
+//	                     items, per-point timing, throughput, ETA) from an
+//	                     experiment.Tracker-style source
+//	/events?n=K          the most recent K events retained by an obs.Ring
+//	/api/v1/timeseries   step-aligned history from a timeseries.DB
+//	/api/v1/alerts       SLO burn-rate alert states from an evaluator
+//	/debug/dash          zero-dependency HTML dashboard over the two above
+//	/debug/pprof/        the standard runtime profiles
 //
 // The server is strictly observe-only: it reads snapshot copies guarded by
 // the sinks' own locks and never touches simulation state, so attaching it
@@ -19,6 +22,7 @@ package httpserve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"netags/internal/obs"
+	"netags/internal/obs/timeseries"
 )
 
 // Options selects which sinks the server exposes. Nil fields disable their
@@ -50,6 +55,12 @@ type Options struct {
 	// /metrics so co-mounted subsystems (the serve layer's cache and queue
 	// counters) can append their own exposition families.
 	ExtraMetrics func(w io.Writer)
+	// Timeseries backs /api/v1/timeseries and /debug/dash: the in-process
+	// metric history recorded by a timeseries.Sampler.
+	Timeseries *timeseries.DB
+	// Alerts backs /api/v1/alerts and the netags_alert_active family on
+	// /metrics: the SLO burn-rate evaluator running on the sampler's ticks.
+	Alerts *timeseries.Evaluator
 }
 
 // NewHandler builds the introspection mux for the options. It is exported
@@ -62,10 +73,11 @@ func NewHandler(o Options) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "netags introspection\n\n/metrics\n/progress\n/events?n=K\n/healthz\n/readyz\n/debug/pprof/\n")
+		fmt.Fprint(w, "netags introspection\n\n/metrics\n/progress\n/events?n=K\n/api/v1/timeseries\n/api/v1/alerts\n/healthz\n/readyz\n/debug/dash\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if o.Collector == nil && o.ExtraMetrics == nil {
+		if o.Collector == nil && o.ExtraMetrics == nil && o.Ring == nil &&
+			o.Timeseries == nil && o.Alerts == nil {
 			http.NotFound(w, r)
 			return
 		}
@@ -75,6 +87,15 @@ func NewHandler(o Options) http.Handler {
 		}
 		if o.ExtraMetrics != nil {
 			o.ExtraMetrics(w)
+		}
+		if o.Ring != nil {
+			writeRingMetrics(w, o.Ring)
+		}
+		if o.Timeseries != nil {
+			writeTimeseriesMetrics(w, o.Timeseries)
+		}
+		if o.Alerts != nil {
+			o.Alerts.WriteProm(w)
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -131,6 +152,39 @@ func NewHandler(o Options) http.Handler {
 		}
 		buf = append(buf, ']', '}', '\n')
 		w.Write(buf)
+	})
+	mux.HandleFunc("/api/v1/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		if o.Timeseries == nil {
+			http.NotFound(w, r)
+			return
+		}
+		handleTimeseries(w, r, o.Timeseries)
+	})
+	mux.HandleFunc("/api/v1/alerts", func(w http.ResponseWriter, r *http.Request) {
+		if o.Alerts == nil {
+			http.NotFound(w, r)
+			return
+		}
+		states := o.Alerts.States()
+		firing := 0
+		for _, st := range states {
+			if st.Firing {
+				firing++
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"firing": firing,
+			"alerts": states,
+		})
+	})
+	mux.HandleFunc("/debug/dash", func(w http.ResponseWriter, r *http.Request) {
+		if o.Timeseries == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, dashHTML) //nolint:errcheck
 	})
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)

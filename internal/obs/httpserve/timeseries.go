@@ -1,0 +1,111 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"netags/internal/obs"
+	"netags/internal/obs/timeseries"
+)
+
+// handleTimeseries answers GET /api/v1/timeseries. Parameters:
+//
+//	series  comma-separated series names; empty means every series
+//	since   trailing window as a Go duration ("90s") or an absolute
+//	        RFC3339 timestamp; empty means everything retained
+//	step    downsampling window as a Go duration; empty means the DB's
+//	        native resolution (no folding beyond alignment)
+//
+// The response maps each requested series to its step-aligned points:
+//
+//	{"resolution_ms":1000,"step_ms":5000,"series":{"name":[{"t":..,"v":..,"n":..},...]}}
+//
+// Unknown series come back as absent keys rather than errors, so dashboards
+// can poll a fixed list while the daemon warms up.
+func handleTimeseries(w http.ResponseWriter, r *http.Request, db *timeseries.DB) {
+	q := r.URL.Query()
+
+	var since time.Time
+	if s := q.Get("since"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil {
+			if d < 0 {
+				d = -d
+			}
+			since = time.Now().Add(-d)
+		} else if ts, err := time.Parse(time.RFC3339, s); err == nil {
+			since = ts
+		} else {
+			http.Error(w, "bad since parameter: want a duration (90s) or RFC3339 time", http.StatusBadRequest)
+			return
+		}
+	}
+
+	step := time.Duration(0)
+	if s := q.Get("step"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad step parameter: want a positive duration", http.StatusBadRequest)
+			return
+		}
+		step = d
+	}
+
+	var names []string
+	if s := q.Get("series"); s != "" {
+		for _, n := range strings.Split(s, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	} else {
+		names = db.Names()
+	}
+
+	out := make(map[string][]timeseries.Point, len(names))
+	for _, name := range names {
+		if pts, ok := db.Query(name, since, step); ok {
+			out[name] = pts
+		}
+	}
+	effStep := step
+	if effStep <= 0 {
+		effStep = db.Resolution()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+		"resolution_ms": db.Resolution().Milliseconds(),
+		"step_ms":       effStep.Milliseconds(),
+		"series":        out,
+	})
+}
+
+// writeRingMetrics appends the event-ring occupancy families to /metrics —
+// the total offered and the monotonic overwrite loss (satellite of the
+// "capacity but not drop rate" gap).
+func writeRingMetrics(w io.Writer, r *obs.Ring) {
+	fmt.Fprintf(w, "# HELP netags_events_total Events ever offered to the in-memory event ring.\n")
+	fmt.Fprintf(w, "# TYPE netags_events_total counter\n")
+	fmt.Fprintf(w, "netags_events_total %d\n", r.Total())
+	fmt.Fprintf(w, "# HELP netags_events_dropped_total Events evicted from the ring by overwrite.\n")
+	fmt.Fprintf(w, "# TYPE netags_events_dropped_total counter\n")
+	fmt.Fprintf(w, "netags_events_dropped_total %d\n", r.Dropped())
+}
+
+// writeTimeseriesMetrics appends the history engine's own occupancy, so the
+// observer is itself observable.
+func writeTimeseriesMetrics(w io.Writer, db *timeseries.DB) {
+	st := db.Stats()
+	fmt.Fprintf(w, "# HELP netags_timeseries_series Live time-series count.\n")
+	fmt.Fprintf(w, "# TYPE netags_timeseries_series gauge\n")
+	fmt.Fprintf(w, "netags_timeseries_series %d\n", st.Series)
+	fmt.Fprintf(w, "# HELP netags_timeseries_samples Samples currently retained across series.\n")
+	fmt.Fprintf(w, "# TYPE netags_timeseries_samples gauge\n")
+	fmt.Fprintf(w, "netags_timeseries_samples %d\n", st.Samples)
+	fmt.Fprintf(w, "# HELP netags_timeseries_dropped_total Samples evicted by ring rotation.\n")
+	fmt.Fprintf(w, "# TYPE netags_timeseries_dropped_total counter\n")
+	fmt.Fprintf(w, "netags_timeseries_dropped_total %d\n", st.Dropped)
+}

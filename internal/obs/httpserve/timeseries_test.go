@@ -1,0 +1,225 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"netags/internal/obs"
+	"netags/internal/obs/timeseries"
+)
+
+// tsResponse mirrors the /api/v1/timeseries JSON shape.
+type tsResponse struct {
+	ResolutionMS int64                         `json:"resolution_ms"`
+	StepMS       int64                         `json:"step_ms"`
+	Series       map[string][]timeseries.Point `json:"series"`
+}
+
+func tsTestServer(t *testing.T) (*httptest.Server, *timeseries.DB, *timeseries.Evaluator) {
+	t.Helper()
+	db := timeseries.New(time.Second, time.Minute)
+	rules := []timeseries.Rule{
+		{Name: "hot", Series: "temp", Op: ">=", Value: 50, WindowS: 60},
+	}
+	eval := timeseries.NewEvaluator(db, rules, nil)
+	ts := httptest.NewServer(NewHandler(Options{Timeseries: db, Alerts: eval}))
+	t.Cleanup(ts.Close)
+	return ts, db, eval
+}
+
+func getTS(t *testing.T, url string) (int, tsResponse) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body tsResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, body
+}
+
+func TestTimeseriesEndpoint(t *testing.T) {
+	ts, db, _ := tsTestServer(t)
+	base := time.Now().Add(-30 * time.Second)
+	for i := 0; i < 20; i++ {
+		at := base.Add(time.Duration(i) * time.Second)
+		db.Record("temp", at, float64(i))
+		db.Record("load", at, float64(i*2))
+	}
+
+	// All series, native resolution.
+	code, body := getTS(t, ts.URL+"/api/v1/timeseries")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body.ResolutionMS != 1000 || body.StepMS != 1000 {
+		t.Errorf("resolution/step = %d/%d, want 1000/1000", body.ResolutionMS, body.StepMS)
+	}
+	if len(body.Series) != 2 || len(body.Series["temp"]) != 20 || len(body.Series["load"]) != 20 {
+		t.Errorf("series = %d keys, temp=%d load=%d", len(body.Series),
+			len(body.Series["temp"]), len(body.Series["load"]))
+	}
+
+	// Filter + downsample: only temp, folded into 5s means.
+	code, body = getTS(t, ts.URL+"/api/v1/timeseries?series=temp&step=5s")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body.StepMS != 5000 {
+		t.Errorf("step_ms = %d, want 5000", body.StepMS)
+	}
+	if _, ok := body.Series["load"]; ok {
+		t.Error("filtered response still contains load")
+	}
+	pts := body.Series["temp"]
+	if len(pts) < 4 || len(pts) > 5 {
+		t.Fatalf("downsampled to %d points, want 4-5", len(pts))
+	}
+	for _, p := range pts {
+		if p.T%5000 != 0 {
+			t.Errorf("point at %d not 5s-aligned", p.T)
+		}
+	}
+
+	// Unknown series are absent keys, not errors.
+	code, body = getTS(t, ts.URL+"/api/v1/timeseries?series=nope")
+	if code != http.StatusOK || len(body.Series) != 0 {
+		t.Errorf("unknown series: status %d, %d keys", code, len(body.Series))
+	}
+
+	// since as a window narrows the result.
+	code, body = getTS(t, ts.URL+"/api/v1/timeseries?series=temp&since=15s")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if n := len(body.Series["temp"]); n >= 20 || n == 0 {
+		t.Errorf("since=15s returned %d points, want a strict subset", n)
+	}
+
+	// Bad parameters are 400s.
+	for _, q := range []string{"?since=yesterday", "?step=0s", "?step=bogus"} {
+		if code, _ := getTS(t, ts.URL+"/api/v1/timeseries"+q); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, code)
+		}
+	}
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	ts, db, eval := tsTestServer(t)
+	getAlerts := func() (int, []timeseries.AlertState) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/api/v1/alerts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Firing int                     `json:"firing"`
+			Alerts []timeseries.AlertState `json:"alerts"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Firing, body.Alerts
+	}
+
+	// Before any evaluation: states exist but nothing fires.
+	firing, alerts := getAlerts()
+	if firing != 0 || len(alerts) != 1 || alerts[0].Rule != "hot" {
+		t.Fatalf("idle alerts = %d %+v", firing, alerts)
+	}
+
+	// Drive the series hot and evaluate: the endpoint reports the fire.
+	now := time.Now()
+	db.Record("temp", now, 80)
+	eval.Evaluate(now)
+	firing, alerts = getAlerts()
+	if firing != 1 || !alerts[0].Firing || alerts[0].Value != 80 {
+		t.Fatalf("hot alerts = %d %+v", firing, alerts)
+	}
+	if alerts[0].Since == "" {
+		t.Error("firing alert has no since timestamp")
+	}
+}
+
+func TestMetricsFamilies(t *testing.T) {
+	db := timeseries.New(time.Second, time.Minute)
+	ring := obs.NewRing(4)
+	for i := 0; i < 6; i++ { // wrap the ring: 2 drops
+		ring.Trace(obs.Event{Kind: obs.KindRound, Round: i})
+	}
+	now := time.Now()
+	db.Record("temp", now, 80)
+	rules := []timeseries.Rule{{Name: "hot", Series: "temp", Op: ">=", Value: 50, WindowS: 60}}
+	eval := timeseries.NewEvaluator(db, rules, nil)
+	eval.Evaluate(now)
+
+	ts := httptest.NewServer(NewHandler(Options{Ring: ring, Timeseries: db, Alerts: eval}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		"netags_events_total 6",
+		"netags_events_dropped_total 2",
+		"netags_timeseries_series 1",
+		"netags_timeseries_samples 1",
+		"netags_timeseries_dropped_total 0",
+		`netags_alert_active{rule="hot"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestDashEndpoint(t *testing.T) {
+	ts, _, _ := tsTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	page := string(raw)
+	for _, want := range []string{"/api/v1/timeseries", "/api/v1/alerts", "<svg"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}
+
+func TestTimeseriesDisabled(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(Options{}))
+	defer ts.Close()
+	for _, path := range []string{"/api/v1/timeseries", "/api/v1/alerts", "/debug/dash"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without wiring: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -24,6 +24,8 @@
 //	slot_batch      a contiguous batch of slots run for one purpose (SICP)
 //	job             a serve-layer job lifecycle transition (admitted, running,
 //	                point completed, resumed, terminal — see internal/serve)
+//	alert           an SLO alert rule transition (firing/resolved — see
+//	                internal/obs/timeseries)
 package obs
 
 import "strconv"
@@ -43,6 +45,7 @@ const (
 	KindPhase
 	KindSlotBatch
 	KindJob
+	KindAlert
 )
 
 // String returns the snake_case name used in JSONL traces.
@@ -68,6 +71,8 @@ func (k Kind) String() string {
 		return "slot_batch"
 	case KindJob:
 		return "job"
+	case KindAlert:
+		return "alert"
 	}
 	return "unknown"
 }
@@ -84,6 +89,9 @@ const (
 	ProtoSearch = "search"
 	// ProtoServe labels serve-layer job lifecycle events (KindJob).
 	ProtoServe = "serve"
+	// ProtoSLO labels alert rule transitions (KindAlert); the rule name
+	// rides in Event.Phase ("<rule>:firing" / "<rule>:resolved").
+	ProtoSLO = "slo"
 )
 
 // Event is one structured trace record. It is a flat value type — no

@@ -45,6 +45,18 @@ func (r *Ring) Total() uint64 {
 	return r.total
 }
 
+// Dropped returns how many events have been evicted by overwrite — the
+// monotonic loss counter behind netags_events_dropped_total, so event loss
+// under load is observable rather than inferred from Total vs Cap.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := uint64(len(r.buf)); r.total > n {
+		return r.total - n
+	}
+	return 0
+}
+
 // Events returns the retained events, oldest first. The slice is a copy.
 func (r *Ring) Events() []Event {
 	r.mu.Lock()

@@ -86,3 +86,21 @@ func TestRingConcurrent(t *testing.T) {
 		t.Fatalf("retained %d", len(r.Events()))
 	}
 }
+
+// TestRingDropped: the monotonic drop counter is 0 until the ring wraps,
+// then exactly total − cap — the /metrics companion to the capacity gauge.
+func TestRingDropped(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 8; i++ {
+		r.Trace(Event{Kind: KindRound, Round: i})
+	}
+	if d := r.Dropped(); d != 0 {
+		t.Fatalf("dropped before wrap = %d, want 0", d)
+	}
+	for i := 0; i < 5; i++ {
+		r.Trace(Event{Kind: KindRound, Round: 8 + i})
+	}
+	if d := r.Dropped(); d != 5 {
+		t.Fatalf("dropped after wrap = %d, want 5", d)
+	}
+}

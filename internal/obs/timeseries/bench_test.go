@@ -1,0 +1,62 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTimeseriesRecord is the per-sample write path once the series
+// ring exists: an RLock, a map hit, and one slot store. This is what every
+// source invocation pays per series per tick.
+func BenchmarkTimeseriesRecord(b *testing.B) {
+	db := New(time.Second, time.Minute)
+	now := time.Now()
+	db.Record("bench", now, 0) // create the series outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Record("bench", now, float64(i))
+	}
+}
+
+// BenchmarkTimeseriesSample is one full sampler tick over a representative
+// source set — the steady-state background cost the daemon pays once per
+// resolution interval. Sources here mirror the serve deployment's scale:
+// ~30 gauges/counters per pass.
+func BenchmarkTimeseriesSample(b *testing.B) {
+	db := New(time.Second, time.Minute)
+	names := make([]string, 30)
+	for i := range names {
+		names[i] = "series_" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	src := func(rec func(name string, v float64)) {
+		for _, n := range names {
+			rec(n, 1)
+		}
+	}
+	s := NewSampler(db, src)
+	now := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleOnce(now.Add(time.Duration(i) * time.Second))
+	}
+}
+
+// BenchmarkTimeseriesQuery reads a full ring back out with 5s downsampling
+// — the dashboard's per-refresh cost for one series.
+func BenchmarkTimeseriesQuery(b *testing.B) {
+	db := New(time.Second, 15*time.Minute)
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 1024; i++ {
+		db.Record("bench", base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	since := base.Add(512 * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Query("bench", since, 5*time.Second); !ok {
+			b.Fatal("series missing")
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package timeseries
+
+import "netags/internal/obs"
+
+// CollectorSource returns a Source snapshotting an obs.Collector's
+// simulation counters as cumulative series:
+//
+//	sim_sessions_total            completed protocol sessions
+//	sim_rounds_total              rounds executed across sessions
+//	sim_truncated_sessions_total  sessions that ended truncated
+//	sim_slots_total               total air time in slots (short + long)
+//	sim_busy_slots_total          busy slots collected
+//	sim_waves_mean                mean per-round information-wave size
+//
+// The collector is read through its mutex-guarded Snapshot, so the source
+// never races with live tracing and never perturbs it beyond a lock.
+func CollectorSource(c *obs.Collector) Source {
+	if c == nil {
+		return nil
+	}
+	return func(rec func(name string, v float64)) {
+		m := c.Snapshot()
+		rec("sim_sessions_total", float64(m.Sessions))
+		rec("sim_rounds_total", float64(m.Rounds))
+		rec("sim_truncated_sessions_total", float64(m.TruncatedSessions))
+		rec("sim_slots_total", float64(m.TotalSlots()))
+		rec("sim_busy_slots_total", float64(m.BusySlots))
+		rec("sim_waves_mean", m.Waves.Mean())
+	}
+}

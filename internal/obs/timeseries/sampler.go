@@ -1,0 +1,88 @@
+package timeseries
+
+import (
+	"sync"
+	"time"
+)
+
+// Source feeds one subsystem's current values into the DB on each sampler
+// tick. Implementations call rec once per series with the gauge value or
+// cumulative counter reading; skipping a call leaves a gap in that series
+// (gaps are preserved by downsampling, not interpolated). Sources must be
+// cheap — they run on every tick — and must never mutate the subsystem
+// they observe.
+type Source func(rec func(name string, v float64))
+
+// Sampler drives a set of Sources on a fixed interval (the DB resolution),
+// recording every reading with a shared per-tick timestamp so windows line
+// up across series, then runs the optional tick hook (the alert evaluator).
+type Sampler struct {
+	db      *DB
+	sources []Source
+	onTick  func(now time.Time)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSampler returns a sampler over db. Nil sources are dropped.
+func NewSampler(db *DB, sources ...Source) *Sampler {
+	live := make([]Source, 0, len(sources))
+	for _, s := range sources {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	return &Sampler{
+		db:      db,
+		sources: live,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// OnTick installs a hook that runs after every sampling pass with the tick
+// timestamp — the alert evaluator hangs off this so rules always see the
+// samples of the tick they are judging. Must be called before Start.
+func (s *Sampler) OnTick(fn func(now time.Time)) { s.onTick = fn }
+
+// SampleOnce runs every source, stamping all readings with now, then the
+// tick hook. Exported so tests and benchmarks can drive the sampler
+// deterministically without the goroutine.
+func (s *Sampler) SampleOnce(now time.Time) {
+	rec := func(name string, v float64) { s.db.Record(name, now, v) }
+	for _, src := range s.sources {
+		src(rec)
+	}
+	if s.onTick != nil {
+		s.onTick(now)
+	}
+}
+
+// Start launches the background sampling goroutine: one immediate pass,
+// then one per DB resolution until Stop.
+func (s *Sampler) Start() {
+	go func() {
+		defer close(s.done)
+		s.SampleOnce(time.Now())
+		tick := time.NewTicker(s.db.Resolution())
+		defer tick.Stop()
+		for {
+			select {
+			case t := <-tick.C:
+				s.SampleOnce(t)
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background goroutine and waits for it to exit. Safe to
+// call more than once; Stop without Start blocks until Start's goroutine
+// would have been the only waiter, so only call it after Start.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}

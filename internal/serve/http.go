@@ -8,7 +8,9 @@
 //	GET    /api/v1/jobs/{id}/trace   lifecycle timeline with per-stage durations
 //	GET    /api/v1/jobs/{id}/result  the rendered result JSON (202 pending)
 //	GET    /api/v1/jobs/{id}/stream  NDJSON tail of per-point results;
-//	                                 resume with ?after=SEQ or Last-Event-ID
+//	                                 resume with ?after=SEQ or Last-Event-ID;
+//	                                 Accept: text/event-stream switches the
+//	                                 same events to SSE framing
 //	DELETE /api/v1/jobs/{id}         cancel a queued or running job
 //
 // The unversioned /jobs... paths from earlier revisions stay mounted as
@@ -35,12 +37,18 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	"netags/internal/obs/httpserve"
 )
 
 // APIPrefix is the versioned mount point of the jobs API.
 const APIPrefix = "/api/v1"
+
+// sseHeartbeatInterval paces the ": heartbeat" comment frames on SSE
+// streams. A var, not a const, so tests can shrink it.
+var sseHeartbeatInterval = 15 * time.Second
 
 // SubmitRequest is the POST /api/v1/jobs body.
 type SubmitRequest struct {
@@ -278,18 +286,52 @@ func handleStream(m *Manager, w http.ResponseWriter, r *http.Request) {
 		done = closed
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	// SSE framing is opt-in via Accept; NDJSON stays the default. Both carry
+	// the same StreamEvent JSON and the same seq cursor — an SSE client's
+	// automatic Last-Event-ID reconnect lands on the exact resume path the
+	// NDJSON ?after= cursor uses.
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	rc.Flush() // ship the headers now; events may be a long time coming
-	enc := json.NewEncoder(w)
-	emit := func(ev StreamEvent) bool {
-		if enc.Encode(ev) != nil {
-			return false
+	var emit func(ev StreamEvent) bool
+	if sse {
+		emit = func(ev StreamEvent) bool {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return false
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Event, b); err != nil {
+				return false
+			}
+			rc.Flush()
+			return true
 		}
-		rc.Flush()
-		return true
+	} else {
+		enc := json.NewEncoder(w)
+		emit = func(ev StreamEvent) bool {
+			if enc.Encode(ev) != nil {
+				return false
+			}
+			rc.Flush()
+			return true
+		}
+	}
+	// SSE gets comment-framed heartbeats so proxies and clients can tell a
+	// quiet sweep from a dead connection; a nil channel (NDJSON) never
+	// fires. Heartbeat write errors end the stream like any other write
+	// error.
+	var heartbeat <-chan time.Time
+	if sse {
+		tick := time.NewTicker(sseHeartbeatInterval)
+		defer tick.Stop()
+		heartbeat = tick.C
 	}
 
 	last := after
@@ -323,6 +365,12 @@ stream:
 					return
 				}
 				last = rec.Seq
+			case <-heartbeat:
+				if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+					cancel()
+					return
+				}
+				rc.Flush()
 			case <-done:
 				cancel()
 				// Final sweep: points that completed between our last event

@@ -581,6 +581,9 @@ func (m *Manager) runJob(j *Job) {
 		"job", j.ID, "class", string(j.priority), "queue_wait_ms", ms(queueWait),
 		"workers", j.workers)
 	m.running.Add(1)
+	// Anchor the tracker's rate clock here: queue wait (and, on a resumed
+	// job, the time before resubmission) must not dilute the /progress ETA.
+	j.tracker.MarkRunStart()
 	err := m.cfg.run(j.ctx, j.Spec, j.workers, runHooks{
 		observe: j.tracker.Wrap(nil),
 		tracer:  m.cfg.Tracer,
@@ -920,6 +923,7 @@ func (m *Manager) WriteProm(w io.Writer) {
 		traceJobs, traceEvents := m.trace.Stats()
 		promGauge(w, "netags_serve_trace_jobs", "Job lifecycle timelines retained in the trace store.", float64(traceJobs))
 		promGauge(w, "netags_serve_trace_events", "Lifecycle trace events retained across all timelines.", float64(traceEvents))
+		promCounter(w, "netags_serve_trace_dropped_total", "Lifecycle trace events lost to per-job tail overwrite or timeline eviction.", m.trace.Dropped())
 	}
 	m.slo.WriteProm(w)
 	m.http.WriteProm(w)

@@ -1,0 +1,151 @@
+// Serve-layer feed for the time-series engine. TimeseriesSource snapshots
+// the manager's gauges and SLO counters once per sampler tick; the SLO
+// histograms are re-expressed as cumulative good/total counter pairs at
+// fixed latency thresholds so a burn-rate rule can window them (a
+// Prometheus-style `rate(bucket)/rate(count)` without Prometheus).
+//
+// The source reads the same mutex-guarded snapshots /metrics does — nothing
+// here touches a hot path, and with the sampler off none of this code runs
+// (BenchmarkServePointDoneDisabled pins the disabled cost at zero
+// allocations).
+package serve
+
+import (
+	"netags/internal/obs"
+	"netags/internal/obs/timeseries"
+)
+
+// SLO latency thresholds (milliseconds) at which the good-event counters
+// are cut. Power-of-two-minus-one so they coincide exactly with the
+// histogram bucket bounds the /metrics exposition already publishes.
+const (
+	sloFastMS = 1<<10 - 1 // ~1s
+	sloMidMS  = 1<<12 - 1 // ~4s
+	sloSlowMS = 1<<14 - 1 // ~16s
+)
+
+// goodCount sums the histogram buckets whose upper bound is <= leMS —
+// observations known to be at or under the threshold.
+func goodCount(h obs.Hist, leMS int64) float64 {
+	var n int64
+	for b := range h.Counts {
+		top := int64(0)
+		if b > 0 {
+			top = int64(1)<<b - 1
+		}
+		if top > leMS {
+			break
+		}
+		n += h.Counts[b]
+	}
+	return float64(n)
+}
+
+// snapshot copies the SLO histograms under the lock for off-hot-path
+// consumers (the timeseries source).
+func (s *sloHists) snapshot() (exec, e2e, point obs.Hist) {
+	s.mu.Lock()
+	exec, e2e, point = s.exec, s.e2e, s.point
+	s.mu.Unlock()
+	return
+}
+
+// totals sums request and 5xx counts across every route/status series.
+func (h *httpHists) totals() (total, errors int64) {
+	h.mu.Lock()
+	for key, hist := range h.m {
+		total += hist.N
+		if key.status >= 500 {
+			errors += hist.N
+		}
+	}
+	h.mu.Unlock()
+	return
+}
+
+// TimeseriesSource returns a sampler source feeding the manager's state
+// into a timeseries.DB. Series it records each tick:
+//
+//	gauges:   serve_queue_len, serve_queue_fill, serve_queue_interactive_len,
+//	          serve_queue_bulk_len, serve_jobs_running, serve_cache_hit_ratio,
+//	          serve_cache_entries, serve_cache_bytes
+//	counters: serve_jobs_executed_total, serve_jobs_deduplicated_total,
+//	          serve_jobs_rejected_total, serve_points_resumed_total,
+//	          serve_cache_hits_total, serve_cache_misses_total
+//	SLO:      slo_e2e_total + slo_e2e_good_{1s,4s,16s},
+//	          slo_point_total + slo_point_good_{1s,4s},
+//	          slo_http_total + slo_http_good_total + slo_http_errors_total
+func (m *Manager) TimeseriesSource() timeseries.Source {
+	return func(rec func(name string, v float64)) {
+		s := m.Stats()
+		rec("serve_queue_len", float64(s.QueueLen))
+		if s.QueueDepth > 0 {
+			rec("serve_queue_fill", float64(s.QueueLen)/float64(s.QueueDepth))
+		}
+		classLens := m.sched.ClassLens()
+		rec("serve_queue_interactive_len", float64(classLens[PriorityInteractive]))
+		rec("serve_queue_bulk_len", float64(classLens[PriorityBulk]))
+		rec("serve_jobs_running", float64(s.Running))
+		rec("serve_jobs_executed_total", float64(s.Executed))
+		rec("serve_jobs_deduplicated_total", float64(s.Deduplicated))
+		rec("serve_jobs_rejected_total", float64(s.Rejected))
+		rec("serve_points_resumed_total", float64(s.ResumedPoints))
+
+		cs := m.cache.Stats()
+		rec("serve_cache_hits_total", float64(cs.Hits))
+		rec("serve_cache_misses_total", float64(cs.Misses))
+		rec("serve_cache_entries", float64(cs.Entries))
+		rec("serve_cache_bytes", float64(cs.Bytes))
+		if lookups := cs.Hits + cs.Misses; lookups > 0 {
+			rec("serve_cache_hit_ratio", float64(cs.Hits)/float64(lookups))
+		}
+
+		_, e2e, point := m.slo.snapshot()
+		rec("slo_e2e_total", float64(e2e.N))
+		rec("slo_e2e_good_1s", goodCount(e2e, sloFastMS))
+		rec("slo_e2e_good_4s", goodCount(e2e, sloMidMS))
+		rec("slo_e2e_good_16s", goodCount(e2e, sloSlowMS))
+		rec("slo_point_total", float64(point.N))
+		rec("slo_point_good_1s", goodCount(point, sloFastMS))
+		rec("slo_point_good_4s", goodCount(point, sloMidMS))
+
+		httpTotal, httpErrs := m.http.totals()
+		rec("slo_http_total", float64(httpTotal))
+		rec("slo_http_good_total", float64(httpTotal-httpErrs))
+		rec("slo_http_errors_total", float64(httpErrs))
+	}
+}
+
+// DefaultSLORules is the rule set ccmserve installs when -slo-rules is not
+// given: burn-rate rules over the latency SLOs above plus a queue
+// saturation threshold. Windows are short enough to flip within a load test
+// yet long enough to ignore a single slow sweep; see DESIGN.md "SLO
+// burn-rate alerting" for how the numbers were picked.
+func DefaultSLORules() []timeseries.Rule {
+	return []timeseries.Rule{
+		{
+			// 90% of jobs end-to-end under ~4s; fire at 2x budget burn.
+			Name: "job_e2e_burn", WindowS: 120,
+			Good: "slo_e2e_good_4s", Total: "slo_e2e_total",
+			Objective: 0.90, Burn: 2, MinTotal: 5,
+		},
+		{
+			// 95% of sweep points compute under ~1s.
+			Name: "point_latency_burn", WindowS: 120,
+			Good: "slo_point_good_1s", Total: "slo_point_total",
+			Objective: 0.95, Burn: 2, MinTotal: 20,
+		},
+		{
+			// 99% of HTTP requests do not 5xx.
+			Name: "http_error_burn", WindowS: 120,
+			Good: "slo_http_good_total", Total: "slo_http_total",
+			Objective: 0.99, Burn: 2, MinTotal: 10,
+		},
+		{
+			// Sustained queue occupancy >= 90% of capacity means backpressure
+			// rejections are imminent.
+			Name: "queue_saturation", WindowS: 60,
+			Series: "serve_queue_fill", Op: ">=", Value: 0.9,
+		},
+	}
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netags/internal/obs/timeseries"
+)
+
+// TestTimeseriesSourceSeries: the manager's sampler source emits the full
+// serve-layer series set — queue, jobs, cache, and the SLO counter pairs
+// the default burn-rate rules reference — with sane values after one job.
+func TestTimeseriesSourceSeries(t *testing.T) {
+	ts, m := newTestServer(t, Config{Workers: 1, run: stubRun(nil, nil)})
+	cl := &Client{BaseURL: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	sub, err := cl.Submit(ctx, streamSpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, sub.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]float64{}
+	m.TimeseriesSource()(func(name string, v float64) {
+		if _, dup := got[name]; dup {
+			t.Errorf("series %q recorded twice in one pass", name)
+		}
+		got[name] = v
+	})
+
+	for _, name := range []string{
+		"serve_queue_len", "serve_queue_fill",
+		"serve_queue_interactive_len", "serve_queue_bulk_len",
+		"serve_jobs_running", "serve_jobs_executed_total",
+		"serve_jobs_deduplicated_total", "serve_jobs_rejected_total",
+		"serve_points_resumed_total",
+		"serve_cache_hits_total", "serve_cache_misses_total",
+		"serve_cache_entries", "serve_cache_bytes",
+		"slo_e2e_total", "slo_e2e_good_1s", "slo_e2e_good_4s", "slo_e2e_good_16s",
+		"slo_point_total", "slo_point_good_1s", "slo_point_good_4s",
+		"slo_http_total", "slo_http_good_total", "slo_http_errors_total",
+	} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("series %q missing", name)
+		}
+	}
+	if got["serve_jobs_executed_total"] != 1 {
+		t.Errorf("serve_jobs_executed_total = %g, want 1", got["serve_jobs_executed_total"])
+	}
+	if got["slo_e2e_total"] != 1 {
+		t.Errorf("slo_e2e_total = %g, want 1", got["slo_e2e_total"])
+	}
+	if good, total := got["slo_e2e_good_4s"], got["slo_e2e_total"]; good > total {
+		t.Errorf("good %g > total %g", good, total)
+	}
+	if got["slo_http_good_total"]+got["slo_http_errors_total"] != got["slo_http_total"] {
+		t.Errorf("http good %g + errors %g != total %g",
+			got["slo_http_good_total"], got["slo_http_errors_total"], got["slo_http_total"])
+	}
+}
+
+// TestDefaultSLORulesValid: every built-in rule validates, names are
+// unique, and each series a rule references is one TimeseriesSource emits.
+func TestDefaultSLORulesValid(t *testing.T) {
+	_, m := newTestServer(t, Config{Workers: 1, run: stubRun(nil, nil)})
+	emitted := map[string]bool{}
+	m.TimeseriesSource()(func(name string, v float64) { emitted[name] = true })
+
+	rules := DefaultSLORules()
+	if len(rules) == 0 {
+		t.Fatal("no default rules")
+	}
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			t.Errorf("rule %q invalid: %v", r.Name, err)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		for _, s := range []string{r.Good, r.Total, r.Series} {
+			if s != "" && !emitted[s] {
+				t.Errorf("rule %q references series %q that TimeseriesSource never emits", r.Name, s)
+			}
+		}
+	}
+}
+
+// TestTimeseriesSourceFeedsEvaluator: wiring the source into a DB and the
+// default rules through an evaluator must work end to end — the idle
+// manager stays quiet (no rule fires with no traffic).
+func TestTimeseriesSourceFeedsEvaluator(t *testing.T) {
+	_, m := newTestServer(t, Config{Workers: 1, run: stubRun(nil, nil)})
+	db := timeseries.New(10*time.Millisecond, time.Minute)
+	eval := timeseries.NewEvaluator(db, DefaultSLORules(), nil)
+	sampler := timeseries.NewSampler(db, m.TimeseriesSource())
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		sampler.SampleOnce(now.Add(time.Duration(i) * 10 * time.Millisecond))
+	}
+	eval.Evaluate(now.Add(50 * time.Millisecond))
+	if n := eval.FiringCount(); n != 0 {
+		t.Fatalf("idle manager fired %d rules: %+v", n, eval.States())
+	}
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseFrame is one parsed Server-Sent Events frame.
+type sseFrame struct {
+	id      string
+	event   string
+	data    string
+	comment bool
+}
+
+// readSSEFrame reads one frame (terminated by a blank line) off r. Comment
+// lines (": ...") arrive as their own frames so heartbeats are observable.
+func readSSEFrame(r *bufio.Reader) (sseFrame, error) {
+	var f sseFrame
+	seen := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return f, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if seen {
+				return f, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			f.comment = true
+			seen = true
+		case strings.HasPrefix(line, "id: "):
+			f.id = line[len("id: "):]
+			seen = true
+		case strings.HasPrefix(line, "event: "):
+			f.event = line[len("event: "):]
+			seen = true
+		case strings.HasPrefix(line, "data: "):
+			f.data = line[len("data: "):]
+			seen = true
+		}
+	}
+}
+
+// sseGet opens a stream request with the SSE Accept header.
+func sseGet(ctx context.Context, t *testing.T, url string, lastEventID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	return resp
+}
+
+// TestStreamSSEFraming: with Accept: text/event-stream the stream speaks
+// SSE — id:/event:/data: frames, text/event-stream content type — and the
+// data payloads match the NDJSON event schema.
+func TestStreamSSEFraming(t *testing.T) {
+	step := make(chan struct{}, 8)
+	ts, _ := newTestServer(t, Config{Workers: 1, run: steppedRun(step)})
+	cl := &Client{BaseURL: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	sub, err := cl.Submit(ctx, streamSpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := sseGet(ctx, t, ts.URL+"/api/v1/jobs/"+sub.ID+"/stream", "")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	r := bufio.NewReader(resp.Body)
+	for i := 0; i < 2; i++ {
+		step <- struct{}{}
+		f, err := readSSEFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.id != fmt.Sprint(i+1) || f.event != "point" {
+			t.Fatalf("frame %d = %+v, want id %d event point", i, f, i+1)
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("frame %d data not JSON: %v", i, err)
+		}
+		if ev.Point == nil || ev.Point.Index != i || ev.Seq != i+1 {
+			t.Fatalf("frame %d payload = %+v", i, ev)
+		}
+	}
+
+	// Finish the job: the last two points and then the terminal state frame.
+	step <- struct{}{}
+	step <- struct{}{}
+	var final sseFrame
+	for {
+		f, err := readSSEFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.event == "state" {
+			final = f
+			break
+		}
+	}
+	var ev StreamEvent
+	if err := json.Unmarshal([]byte(final.data), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.State == nil || ev.State.State != StateDone {
+		t.Fatalf("final frame = %+v, want done state", ev)
+	}
+}
+
+// TestStreamSSEResume: Last-Event-ID resumes exactly like ?after= — only
+// events past the cursor replay, then the state frame closes the stream.
+func TestStreamSSEResume(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1, run: stubRun(nil, nil)})
+	cl := &Client{BaseURL: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	sub, err := cl.Submit(ctx, streamSpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, sub.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := sseGet(ctx, t, ts.URL+"/api/v1/jobs/"+sub.ID+"/stream", "2")
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	var ids []string
+	for {
+		f, err := readSSEFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.comment {
+			continue
+		}
+		ids = append(ids, f.id)
+		if f.event == "state" {
+			break
+		}
+	}
+	// streamSpec has 4 points: cursor 2 leaves point frames 3, 4, then state.
+	if len(ids) != 3 || ids[0] != "3" || ids[1] != "4" {
+		t.Errorf("resumed frame ids = %v, want [3 4 <state>]", ids)
+	}
+}
+
+// TestStreamSSEHeartbeat: an idle SSE stream emits comment frames at the
+// heartbeat interval so proxies and clients know the connection is alive.
+func TestStreamSSEHeartbeat(t *testing.T) {
+	old := sseHeartbeatInterval
+	sseHeartbeatInterval = 20 * time.Millisecond
+	defer func() { sseHeartbeatInterval = old }()
+
+	step := make(chan struct{}, 8)
+	ts, _ := newTestServer(t, Config{Workers: 1, run: steppedRun(step)})
+	cl := &Client{BaseURL: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	sub, err := cl.Submit(ctx, streamSpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := sseGet(ctx, t, ts.URL+"/api/v1/jobs/"+sub.ID+"/stream", "")
+	defer resp.Body.Close()
+
+	// No points ever complete, so the only traffic is heartbeats.
+	r := bufio.NewReader(resp.Body)
+	f, err := readSSEFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.comment {
+		t.Fatalf("expected heartbeat comment frame, got %+v", f)
+	}
+
+	// Unblock the job so server shutdown isn't stuck on the worker.
+	for i := 0; i < 4; i++ {
+		step <- struct{}{}
+	}
+}
+
+// TestStreamDefaultStaysNDJSON: without the SSE Accept header the stream
+// keeps its original NDJSON framing and content type.
+func TestStreamDefaultStaysNDJSON(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1, run: stubRun(nil, nil)})
+	cl := &Client{BaseURL: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	sub, err := cl.Submit(ctx, streamSpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, sub.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not NDJSON: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 5 { // 4 points + state
+		t.Errorf("NDJSON lines = %d, want 5", lines)
+	}
+}

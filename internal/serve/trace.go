@@ -87,9 +87,10 @@ type TraceStore struct {
 	tailCap int
 	maxJobs int
 
-	mu    sync.Mutex
-	jobs  map[string]*jobTrace
-	order []string // insertion order, for eviction
+	mu      sync.Mutex
+	jobs    map[string]*jobTrace
+	order   []string // insertion order, for eviction
+	dropped int64    // monotonic: events lost to tail overwrite or timeline eviction
 }
 
 // NewTraceStore returns a store keeping at most eventsPerJob events per job
@@ -145,15 +146,39 @@ func (s *TraceStore) Append(id string, ev TraceEvent) {
 	if j.tail == nil {
 		j.tail = make([]TraceEvent, s.tailCap)
 	}
+	if j.total-cap(j.head) > len(j.tail) {
+		s.dropped++ // the slot below overwrites a still-retained event
+	}
 	j.tail[(j.total-cap(j.head)-1)%len(j.tail)] = ev
 }
 
-// evictLocked drops the oldest job timelines beyond maxJobs.
+// evictLocked drops the oldest job timelines beyond maxJobs, counting their
+// retained events as dropped.
 func (s *TraceStore) evictLocked() {
 	for len(s.jobs) > s.maxJobs && len(s.order) > 0 {
+		if j, ok := s.jobs[s.order[0]]; ok {
+			n := j.total
+			if max := cap(j.head) + s.tailCap; n > max {
+				n = max
+			}
+			s.dropped += int64(n)
+		}
 		delete(s.jobs, s.order[0])
 		s.order = s.order[1:]
 	}
+}
+
+// Dropped returns the monotonic count of trace events lost to per-job tail
+// overwrite or whole-timeline eviction — the drop-rate companion to the
+// capacity gauges on /metrics. Forget (deliberate job pruning) does not
+// count: it is bookkeeping, not loss under load.
+func (s *TraceStore) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Forget drops job id's timeline (job-record pruning).

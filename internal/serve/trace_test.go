@@ -187,3 +187,38 @@ func TestManagerTraceDisabled(t *testing.T) {
 		t.Fatal("JobTrace answered with tracing disabled")
 	}
 }
+
+// TestTraceStoreDropped: the monotonic drop counter covers both loss modes
+// — per-job tail overwrite and whole-timeline eviction — while deliberate
+// Forget stays uncounted.
+func TestTraceStoreDropped(t *testing.T) {
+	// 16 events per job → head 2, tail 14; overwrite starts at event 17.
+	s := NewTraceStore(16, 2)
+	if s.Dropped() != 0 {
+		t.Fatalf("fresh store dropped = %d", s.Dropped())
+	}
+	for i := 0; i < 50; i++ {
+		s.Append("a", TraceEvent{Stage: StagePointCompleted, K: i + 1})
+	}
+	if got := s.Dropped(); got != 34 { // events 17..50 each overwrite one
+		t.Fatalf("tail-overwrite dropped = %d, want 34", got)
+	}
+
+	// Third job evicts "a", whose 16 retained events count as dropped.
+	s.Append("b", TraceEvent{Stage: StageReceived})
+	s.Append("c", TraceEvent{Stage: StageReceived})
+	if got := s.Dropped(); got != 34+16 {
+		t.Fatalf("post-eviction dropped = %d, want 50", got)
+	}
+
+	// Forget is bookkeeping, not loss.
+	s.Forget("b")
+	if got := s.Dropped(); got != 50 {
+		t.Fatalf("post-Forget dropped = %d, want 50", got)
+	}
+
+	var nilStore *TraceStore
+	if nilStore.Dropped() != 0 {
+		t.Fatal("nil store dropped != 0")
+	}
+}

@@ -66,8 +66,9 @@ await_result() { # await_result <addr> <id> <outfile>
     die "job $2 never finished (last result status $code)"
 }
 
-echo "serve_e2e: building ccmserve"
+echo "serve_e2e: building ccmserve + ccmload"
 go build -o "$WORK/ccmserve" ./cmd/ccmserve
+go build -o "$WORK/ccmload" ./cmd/ccmload
 
 # --- Phase 1: submit, stream, kill at ~50% -------------------------------
 ADDR=$(start_daemon "$CKPT" "$WORK/daemon1.log" "$WORK/daemon1.pid")
@@ -154,4 +155,15 @@ await_result "$ADDR" "$REF_ID" "$WORK/reference.bin"
 
 cmp "$WORK/resumed.bin" "$WORK/reference.bin" \
     || die "resumed result differs from uninterrupted run"
-echo "serve_e2e: PASS (resumed result byte-identical, $RESUMED points skipped)"
+echo "serve_e2e: resumed result byte-identical ($RESUMED points skipped)"
+
+# --- Phase 4: telemetry under load ---------------------------------------
+# The reference daemon runs with the default sampler (1s resolution) and
+# built-in SLO rules; a short gentle ccmload run must pass its own gates:
+# p99 bound, no firing alerts, and non-empty serve/sim/runtime series on
+# /api/v1/timeseries.
+"$WORK/ccmload" -addr "$ADDR" -rps 2 -duration 5s -drain 30s \
+    -large-ratio 0 -max-p99 30s -fail-on-alerts \
+    -check-series serve_queue_len,serve_jobs_executed_total,sim_sessions_total,runtime_goroutines \
+    || die "ccmload telemetry gates failed (exit $?)"
+echo "serve_e2e: PASS (telemetry live under load, no SLO violations)"
