@@ -12,7 +12,7 @@ verify:
 		echo "verify: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 	go test ./...
-	go test -race ./internal/core/... ./internal/obs/... ./internal/simtest/... ./internal/experiment/... ./internal/serve/...
+	go test -race ./internal/core/... ./internal/obs/... ./internal/simtest/... ./internal/experiment/... ./internal/serve/... ./internal/cluster/...
 ifeq ($(FUZZ),1)
 	$(MAKE) fuzz-smoke
 endif
@@ -36,6 +36,14 @@ serve-e2e:
 load-smoke:
 	./scripts/load_smoke.sh
 
+# Cluster failover e2e: 3 ccmserve workers behind ccmrouter, a gentle
+# ccmload gate through the router, then kill one worker mid-run — its
+# breaker must trip (visible on /metrics and /api/v1/alerts), its keyspace
+# re-route, and every re-executed job byte-match the single-node reference;
+# finally the worker restarts and the breaker closes via half-open probes.
+cluster-e2e:
+	./scripts/cluster_e2e.sh
+
 # Short coverage-guided runs of every native fuzz target, one at a time (the
 # go tool accepts a single -fuzz pattern per package invocation). The
 # checked-in corpora under */testdata/fuzz/ always run as plain tests; this
@@ -47,6 +55,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzTopologyTiers$$' -fuzztime $(FUZZTIME) ./internal/topology/
 	go test -run '^$$' -fuzz '^FuzzSession$$' -fuzztime $(FUZZTIME) ./internal/simtest/
 	go test -run '^$$' -fuzz '^FuzzJobSpecKey$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	go test -run '^$$' -fuzz '^FuzzHashRing$$' -fuzztime $(FUZZTIME) ./internal/cluster/
 
 # Sequential-vs-parallel sweep benchmark (one full Quick() sweep each;
 # results are bit-identical, only the wall clock differs).
@@ -63,8 +72,8 @@ bench-sweep:
 # off (pinned at zero allocs) and fully on. The raw `go test -bench` lines
 # plus per-benchmark mean/min/max rollups land in BENCH_observability.json
 # (recover a benchstat input with `jq -r '.benchmarks[].raw'`).
-BENCH_PKGS    = ./internal/core/ ./internal/bitmap/ ./internal/experiment/ ./internal/serve/ ./internal/obs/timeseries/
-BENCH_PATTERN = 'SessionTracer|SessionN|RunnerReuse|Bitmap|SweepWorkers|TrackerObserve|ServeSpecKey|ServeCacheGet|ServeSubmitHit|ServePointDone|Timeseries'
+BENCH_PKGS    = ./internal/core/ ./internal/bitmap/ ./internal/experiment/ ./internal/serve/ ./internal/obs/timeseries/ ./internal/cluster/
+BENCH_PATTERN = 'SessionTracer|SessionN|RunnerReuse|Bitmap|SweepWorkers|TrackerObserve|ServeSpecKey|ServeCacheGet|ServeSubmitHit|ServePointDone|Timeseries|ClusterRouteAdmit'
 bench:
 	go test -bench=$(BENCH_PATTERN) -benchmem -count=5 -run='^$$' $(BENCH_PKGS) \
 		| tee /dev/stderr | go run ./internal/tools/benchjson > BENCH_observability.json
@@ -84,4 +93,4 @@ bench-compare:
 			-baseline BENCH_observability.json \
 			-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
-.PHONY: verify test-scale serve-e2e load-smoke fuzz-smoke bench bench-sweep bench-compare
+.PHONY: verify test-scale serve-e2e load-smoke cluster-e2e fuzz-smoke bench bench-sweep bench-compare

@@ -13,6 +13,12 @@
 // under -max-p99, firing alerts under -fail-on-alerts, or a -check-series
 // name missing/empty).
 //
+// 429 backpressure — a full worker queue or a cluster router shedding load
+// — is not a hard failure: each shed submission retries after a jittered
+// Retry-After wait until admitted or the drain deadline passes, and the
+// summary reports the shed-rate separately. -report-json writes the whole
+// summary machine-readably (a path, or "-" for stdout).
+//
 // The job mix: each submission is "small" or "large" (-large-ratio), and
 // "interactive" or "bulk" (-bulk-ratio), drawn from a seeded PRNG so a
 // given flag set replays the same schedule. Seeds vary per submission so
@@ -33,6 +39,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netags/internal/serve"
@@ -65,7 +72,7 @@ func jobSpec(large bool, seed uint64) serve.JobSpec {
 
 // result is one submission's outcome.
 type result struct {
-	rejected bool // 429 backpressure
+	rejected bool // shed to the end: never admitted before the deadline
 	failed   bool // submit error or terminal failed/canceled
 	finished bool
 	e2e      time.Duration
@@ -75,6 +82,9 @@ type counters struct {
 	mu        sync.Mutex
 	submitted int
 	results   []result
+	// shed counts every 429 answer received, including ones later retried
+	// into admission — the numerator of the reported shed-rate.
+	shed atomic.Int64
 }
 
 func (c *counters) add(r result) {
@@ -113,6 +123,7 @@ func run(ctx context.Context, args []string, out io.Writer) ([]string, error) {
 		maxP99       = fs.Duration("max-p99", 0, "fail (exit 2) when the completed-job e2e p99 exceeds this (0 = no bound)")
 		failOnAlerts = fs.Bool("fail-on-alerts", false, "fail (exit 2) when /api/v1/alerts reports firing rules after the run")
 		checkSeries  = fs.String("check-series", "", "comma-separated series names that must be non-empty on /api/v1/timeseries")
+		reportJSON   = fs.String("report-json", "", "write the machine-readable summary to this path ('-' = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -174,7 +185,7 @@ gen:
 		go func() {
 			defer wg.Done()
 			t0 := time.Now()
-			sub, err := cl.Submit(awaitCtx, spec, opts)
+			sub, err := submitHonoringShed(awaitCtx, cl, &cnt, spec, opts)
 			if err != nil {
 				var busy *serve.ErrBusy
 				if errors.As(err, &busy) {
@@ -219,9 +230,19 @@ gen:
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
 	p50, p90, p99 := percentile(lats, 0.50), percentile(lats, 0.90), percentile(lats, 0.99)
 
+	// Shed-rate: 429 answers over submission attempts (first tries plus the
+	// retries those 429s triggered).
+	sheds := cnt.shed.Load()
+	shedRate := 0.0
+	if attempts := int64(cnt.submitted) + sheds; attempts > 0 {
+		shedRate = float64(sheds) / float64(attempts)
+	}
+
 	fmt.Fprintf(out, "ccmload: submitted=%d accepted=%d rejected=%d failed=%d finished=%d unfinished=%d in %s (%.2f rps achieved)\n",
 		cnt.submitted, accepted, rejected, failed, finished, unfinished,
 		elapsed.Round(time.Millisecond), float64(cnt.submitted)/elapsed.Seconds())
+	fmt.Fprintf(out, "ccmload: shed responses=%d shed-rate=%.1f%% (429s retried with jittered Retry-After)\n",
+		sheds, shedRate*100)
 	fmt.Fprintf(out, "ccmload: e2e latency p50=%s p90=%s p99=%s (n=%d)\n",
 		p50.Round(time.Millisecond), p90.Round(time.Millisecond), p99.Round(time.Millisecond), len(lats))
 
@@ -260,7 +281,91 @@ gen:
 			fmt.Fprintf(out, "ccmload: timeseries check passed (%s)\n", *checkSeries)
 		}
 	}
+	if *reportJSON != "" {
+		rep := report{
+			Submitted: cnt.submitted, Accepted: accepted, Rejected: rejected,
+			Failed: failed, Finished: finished, Unfinished: unfinished,
+			ShedResponses: sheds, ShedRate: shedRate,
+			P50Ms:       float64(p50) / float64(time.Millisecond),
+			P90Ms:       float64(p90) / float64(time.Millisecond),
+			P99Ms:       float64(p99) / float64(time.Millisecond),
+			ElapsedS:    elapsed.Seconds(),
+			AchievedRPS: float64(cnt.submitted) / elapsed.Seconds(),
+			Violations:  violations,
+		}
+		if err := writeReport(rep, *reportJSON, out); err != nil {
+			return nil, fmt.Errorf("-report-json: %w", err)
+		}
+	}
 	return violations, nil
+}
+
+// submitHonoringShed submits, treating every 429 as backpressure to wait
+// out rather than a hard failure: it sleeps a jittered fraction of the
+// server's Retry-After hint (full jitter, so a herd of shed clients does
+// not re-converge on the recovery instant) and retries until admission or
+// ctx's deadline. Every 429 received is counted toward the shed-rate; only
+// a submission never admitted before the deadline comes back as ErrBusy.
+func submitHonoringShed(ctx context.Context, cl *serve.Client, cnt *counters, spec serve.JobSpec, opts serve.SubmitOptions) (serve.SubmitResponse, error) {
+	for {
+		sub, err := cl.Submit(ctx, spec, opts)
+		var busy *serve.ErrBusy
+		if !errors.As(err, &busy) {
+			return sub, err
+		}
+		cnt.shed.Add(1)
+		hint := busy.RetryAfter
+		if hint <= 0 {
+			hint = time.Second
+		}
+		wait := time.Duration(rand.Float64() * float64(hint))
+		if wait < 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return serve.SubmitResponse{}, busy
+		case <-t.C:
+		}
+	}
+}
+
+// report is the -report-json document: the printed summary, machine-
+// readable.
+type report struct {
+	Submitted     int      `json:"submitted"`
+	Accepted      int      `json:"accepted"`
+	Rejected      int      `json:"rejected"`
+	Failed        int      `json:"failed"`
+	Finished      int      `json:"finished"`
+	Unfinished    int      `json:"unfinished"`
+	ShedResponses int64    `json:"shed_responses"`
+	ShedRate      float64  `json:"shed_rate"`
+	P50Ms         float64  `json:"p50_ms"`
+	P90Ms         float64  `json:"p90_ms"`
+	P99Ms         float64  `json:"p99_ms"`
+	ElapsedS      float64  `json:"elapsed_s"`
+	AchievedRPS   float64  `json:"achieved_rps"`
+	Violations    []string `json:"violations"`
+}
+
+// writeReport renders the report to path ("-" = out, the ccmload stdout).
+func writeReport(rep report, path string, out io.Writer) error {
+	if rep.Violations == nil {
+		rep.Violations = []string{}
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = out.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func probe(ctx context.Context, base string) error {

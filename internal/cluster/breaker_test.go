@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// tick is a hand-advanced clock: breaker methods take explicit times, so
+// these tests never sleep and cannot race the wall clock.
+type tick struct{ now time.Time }
+
+func newTick() *tick { return &tick{now: time.Unix(1_700_000_000, 0)} }
+
+func (c *tick) advance(d time.Duration) time.Time {
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// failN drives n allowed failures through the breaker.
+func failN(t *testing.T, b *Breaker, c *tick, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ok, probe, gen := b.Allow(c.now)
+		if !ok {
+			t.Fatalf("failure %d: Allow refused in state %s", i, b.State())
+		}
+		b.Record(c.now, false, probe, gen)
+	}
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	c := newTick()
+	b := NewBreaker(BreakerConfig{ConsecutiveFailures: 3})
+	failN(t, b, c, 2)
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped after 2 of 3 failures")
+	}
+	failN(t, b, c, 1)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after 3 consecutive failures, want open", b.State())
+	}
+	if ok, _, _ := b.Allow(c.now); ok {
+		t.Fatalf("open breaker admitted during cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	c := newTick()
+	b := NewBreaker(BreakerConfig{ConsecutiveFailures: 3})
+	failN(t, b, c, 2)
+	ok, probe, gen := b.Allow(c.now)
+	if !ok {
+		t.Fatal("Allow refused while closed")
+	}
+	b.Record(c.now, true, probe, gen)
+	failN(t, b, c, 2)
+	if b.State() != BreakerClosed {
+		t.Fatalf("success did not reset the consecutive run (state %s)", b.State())
+	}
+}
+
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	c := newTick()
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: -1, // disable the consecutive condition
+		FailureRate:         0.5, MinSamples: 10, Window: 10 * time.Second,
+	})
+	// 5 successes, then failures interleaved under MinSamples: no trip yet.
+	for i := 0; i < 5; i++ {
+		_, probe, gen := b.Allow(c.now)
+		b.Record(c.now, true, probe, gen)
+	}
+	failN(t, b, c, 4)
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped below MinSamples×rate")
+	}
+	// 10th sample makes 5/10 = 50%: trip.
+	failN(t, b, c, 1)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s at 50%% windowed failure rate, want open", b.State())
+	}
+}
+
+func TestBreakerWindowExpiryIsClockComparison(t *testing.T) {
+	c := newTick()
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: -1,
+		FailureRate:         0.5, MinSamples: 4, Window: 10 * time.Second,
+	})
+	// 3 failures late in one window...
+	failN(t, b, c, 3)
+	// ...then the next outcome lands past the window edge: counts reset, so
+	// the 4th failure is 1/1 of a fresh window, not 4/4 of a stale one.
+	c.advance(11 * time.Second)
+	failN(t, b, c, 1)
+	if b.State() != BreakerClosed {
+		t.Fatalf("window did not expire by timestamp comparison (state %s)", b.State())
+	}
+	st := b.Stats()
+	if st.WindowFailureRate != 1 {
+		t.Fatalf("fresh window rate %.2f, want 1.0 (1 failure / 1 sample)", st.WindowFailureRate)
+	}
+}
+
+func TestBreakerHalfOpenProbeCap(t *testing.T) {
+	c := newTick()
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: 2, Cooldown: 5 * time.Second,
+		HalfOpenProbes: 2, ProbeSuccesses: 3,
+	})
+	failN(t, b, c, 2)
+	c.advance(6 * time.Second)
+
+	// First Allow half-opens and takes probe slot 1; second takes slot 2;
+	// third must be refused — the cap bounds concurrent probes.
+	ok1, probe1, gen1 := b.Allow(c.now)
+	ok2, probe2, gen2 := b.Allow(c.now)
+	ok3, _, _ := b.Allow(c.now)
+	if !ok1 || !probe1 || !ok2 || !probe2 {
+		t.Fatalf("half-open refused probes under the cap")
+	}
+	if ok3 {
+		t.Fatalf("half-open admitted a 3rd concurrent probe over cap 2")
+	}
+	if got := b.Stats().InFlightProbes; got != 2 {
+		t.Fatalf("in-flight probes %d, want 2", got)
+	}
+
+	// Finishing a probe frees its slot.
+	b.Record(c.now, true, probe1, gen1)
+	if ok, probe, _ := b.Allow(c.now); !ok || !probe {
+		t.Fatalf("freed probe slot not reusable")
+	}
+	_ = gen2
+}
+
+func TestBreakerProbeSuccessesClose(t *testing.T) {
+	c := newTick()
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: 2, Cooldown: time.Second,
+		HalfOpenProbes: 1, ProbeSuccesses: 2,
+	})
+	failN(t, b, c, 2)
+	c.advance(2 * time.Second)
+	for i := 0; i < 2; i++ {
+		ok, probe, gen := b.Allow(c.now)
+		if !ok || !probe {
+			t.Fatalf("probe %d refused", i)
+		}
+		b.Record(c.now, true, probe, gen)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after %d probe successes, want closed", b.State(), 2)
+	}
+}
+
+func TestBreakerTripDuringProbe(t *testing.T) {
+	c := newTick()
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: 2, Cooldown: time.Second,
+		HalfOpenProbes: 2, ProbeSuccesses: 2,
+	})
+	failN(t, b, c, 2)
+	c.advance(2 * time.Second)
+
+	// Two probes go out; the first fails and re-trips the breaker while the
+	// second is still in flight.
+	ok1, probe1, gen1 := b.Allow(c.now)
+	ok2, probe2, gen2 := b.Allow(c.now)
+	if !ok1 || !ok2 {
+		t.Fatal("probes refused")
+	}
+	b.Record(c.now, false, probe1, gen1)
+	if b.State() != BreakerOpen {
+		t.Fatalf("probe failure did not re-trip (state %s)", b.State())
+	}
+	tripsBefore := b.Stats().Trips
+
+	// The straggler probe's success belongs to a dead generation: it must
+	// not close (or otherwise disturb) the newly opened breaker.
+	b.Record(c.now, true, probe2, gen2)
+	if b.State() != BreakerOpen {
+		t.Fatalf("stale probe outcome changed state to %s", b.State())
+	}
+	if got := b.Stats().Trips; got != tripsBefore {
+		t.Fatalf("stale probe outcome changed trip count %d -> %d", tripsBefore, got)
+	}
+	if got := b.Stats().InFlightProbes; got != 0 {
+		t.Fatalf("stale probe left %d in-flight slots", got)
+	}
+
+	// After another cooldown the breaker half-opens cleanly with a full
+	// probe budget.
+	c.advance(2 * time.Second)
+	if ok, probe, _ := b.Allow(c.now); !ok || !probe {
+		t.Fatalf("breaker did not half-open after re-trip cooldown")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	c := newTick()
+	b := NewBreaker(BreakerConfig{ConsecutiveFailures: 1, Cooldown: time.Second})
+	failN(t, b, c, 1)
+	c.advance(2 * time.Second)
+	ok, probe, gen := b.Allow(c.now)
+	if !ok || !probe {
+		t.Fatal("expected a half-open probe")
+	}
+	b.Record(c.now, false, probe, gen)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after failed probe, want open", b.State())
+	}
+	// And the new cooldown starts from the re-trip, not the original trip.
+	if ok, _, _ := b.Allow(c.advance(500 * time.Millisecond)); ok {
+		t.Fatal("admitted before the re-trip cooldown elapsed")
+	}
+}
+
+func TestBreakerTransitionCallback(t *testing.T) {
+	c := newTick()
+	type hop struct{ from, to BreakerState }
+	var hops []hop
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: 1, Cooldown: time.Second, ProbeSuccesses: 1,
+		OnTransition: func(from, to BreakerState, _ time.Time) {
+			hops = append(hops, hop{from, to})
+		},
+	})
+	failN(t, b, c, 1) // closed -> open
+	c.advance(2 * time.Second)
+	ok, probe, gen := b.Allow(c.now) // open -> half-open
+	if !ok {
+		t.Fatal("probe refused")
+	}
+	b.Record(c.now, true, probe, gen) // half-open -> closed
+	want := []hop{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if len(hops) != len(want) {
+		t.Fatalf("got %d transitions %v, want %d", len(hops), hops, len(want))
+	}
+	for i, w := range want {
+		if hops[i] != w {
+			t.Fatalf("transition %d = %v, want %v", i, hops[i], w)
+		}
+	}
+}
+
+func TestBreakerStaleGenerationDropped(t *testing.T) {
+	c := newTick()
+	b := NewBreaker(BreakerConfig{ConsecutiveFailures: 2})
+	// A request admitted while closed...
+	ok, probe, gen := b.Allow(c.now)
+	if !ok {
+		t.Fatal("Allow refused while closed")
+	}
+	// ...the breaker trips underneath it...
+	failN(t, b, c, 2)
+	if b.State() != BreakerOpen {
+		t.Fatal("setup: breaker should be open")
+	}
+	// ...and its late failure must not touch the open state's accounting.
+	b.Record(c.now, false, probe, gen)
+	st := b.Stats()
+	if st.ConsecutiveFailures != 0 || st.WindowFailureRate != 0 {
+		t.Fatalf("stale outcome leaked into new state: %+v", st)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerHalfOpen.String() != "half-open" ||
+		BreakerOpen.String() != "open" || BreakerState(9).String() != "unknown" {
+		t.Fatal("state strings changed — logs, metrics, and e2e greps depend on them")
+	}
+}

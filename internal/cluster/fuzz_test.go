@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzHashRing drives a random add/remove/lookup script against the ring
+// and asserts its two load-bearing invariants exactly (no statistical
+// slack):
+//
+//  1. Determinism: a ring rebuilt from the same membership set — in any
+//     insertion order — places every probed key identically, and OwnerSeq
+//     is a permutation of all backends headed by the primary owner.
+//  2. Minimal movement: adding a backend only moves keys TO it; removing
+//     a backend only moves the keys it owned. No unrelated key changes
+//     owner on any membership change.
+//
+// The script bytes decode as (op, backend-id) pairs: op&3 selects
+// add/remove/toggle, the id picks one of 16 candidate backends.
+func FuzzHashRing(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23, 0x05})
+	f.Add([]byte{0x00, 0x10, 0x20, 0x30, 0x41, 0x52, 0x63, 0x74})
+	f.Add([]byte{0xff, 0x00, 0x81, 0x42, 0xc3, 0x24, 0xa5, 0x66, 0x07})
+	f.Add([]byte{})
+
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761+17)
+	}
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 64 {
+			script = script[:64]
+		}
+		members := map[string]bool{}
+		ring := NewRing(nil, 16)
+		for _, b := range script {
+			backend := fmt.Sprintf("w%02d:9000", (b>>2)&0x0f)
+			add := b&1 == 0
+			if b&2 != 0 { // toggle
+				add = !members[backend]
+			}
+
+			before := ring
+			if add && !members[backend] {
+				members[backend] = true
+				ring = before.With(backend)
+				// Minimal movement: every key that moved must now belong to
+				// the arrival.
+				for _, k := range keys {
+					bo, ao := before.Owner(k), ring.Owner(k)
+					if bo < 0 {
+						continue
+					}
+					if before.Backends()[bo] != ring.Backends()[ao] &&
+						ring.Backends()[ao] != backend {
+						t.Fatalf("add %q moved key %s to unrelated %q",
+							backend, k, ring.Backends()[ao])
+					}
+				}
+			} else if !add && members[backend] {
+				delete(members, backend)
+				ring = before.Without(backend)
+				// Minimal movement: only the departure's keys move.
+				for _, k := range keys {
+					bo := before.Owner(k)
+					if bo < 0 || ring.Len() == 0 {
+						continue
+					}
+					if before.Backends()[bo] != backend &&
+						before.Backends()[bo] != ring.Backends()[ring.Owner(k)] {
+						t.Fatalf("remove %q moved key %s owned by %q",
+							backend, k, before.Backends()[bo])
+					}
+				}
+			}
+
+			// Determinism: a rebuild from the membership set in a rotated
+			// order routes identically.
+			list := make([]string, 0, len(members))
+			for m := range members { // map order is deliberately random
+				list = append(list, m)
+			}
+			rebuilt := NewRing(list, 16)
+			var seq []int
+			for _, k := range keys {
+				o1, o2 := ring.Owner(k), rebuilt.Owner(k)
+				if (o1 < 0) != (o2 < 0) {
+					t.Fatalf("rebuild disagreed on emptiness for key %s", k)
+				}
+				if o1 < 0 {
+					continue
+				}
+				if ring.Backends()[o1] != rebuilt.Backends()[o2] {
+					t.Fatalf("rebuild moved key %s: %q vs %q",
+						k, ring.Backends()[o1], rebuilt.Backends()[o2])
+				}
+				seq = ring.OwnerSeq(k, seq)
+				if len(seq) != ring.Len() {
+					t.Fatalf("OwnerSeq covers %d of %d backends", len(seq), ring.Len())
+				}
+				if seq[0] != o1 {
+					t.Fatalf("OwnerSeq[0]=%d, Owner=%d", seq[0], o1)
+				}
+				seen := 0
+				for _, o := range seq {
+					if o < 0 || o >= ring.Len() {
+						t.Fatalf("OwnerSeq out-of-range owner %d", o)
+					}
+					seen |= 1 << o
+				}
+				if seen != (1<<ring.Len())-1 {
+					t.Fatalf("OwnerSeq %v not a permutation of %d backends", seq, ring.Len())
+				}
+			}
+		}
+	})
+}

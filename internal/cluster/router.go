@@ -1,0 +1,658 @@
+// The cluster router: one HTTP front door over N ccmserve workers.
+//
+// Request flow for a submission:
+//
+//	POST /api/v1/jobs
+//	  → admission (per-client token bucket, utilization shedding; 429 +
+//	    Retry-After at the edge, bulk shed before interactive)
+//	  → key = SHA-256 content address of the canonicalized spec
+//	  → ring.OwnerSeq(key): the owning shard, then each successive ring
+//	    owner as the failover sequence
+//	  → first backend whose breaker admits and whose in-flight count is
+//	    under the bounded-load cap gets the proxied request; transport
+//	    errors and 502/503/504 replies count against its breaker and fall
+//	    through to the next owner
+//
+// Reads (/jobs/{id}, /result, /stream, /trace, DELETE) route by the id in
+// the path — the id IS the shard key — so a job's whole lifecycle lands
+// on the worker that owns (and cached, and checkpointed) it. When that
+// worker trips its breaker the same sequence re-routes reads to the next
+// owner; a resubmission of the spec re-executes there and is
+// byte-identical by construction, so failover needs no state handoff.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netags/internal/obs"
+	"netags/internal/obs/httpserve"
+	"netags/internal/serve"
+)
+
+// Error codes the router adds to the serve layer's envelope vocabulary.
+const (
+	// CodeShedRateLimit rejects a client exceeding its token bucket.
+	CodeShedRateLimit = "shed_ratelimit"
+	// CodeShedOverload rejects at high cluster utilization.
+	CodeShedOverload = "shed_overload"
+	// CodeNoBackend means every ring owner was tripped or unreachable.
+	CodeNoBackend = "no_backend"
+)
+
+// maxBody bounds a proxied POST body (mirrors the serve layer's own cap).
+const maxBody = 1 << 20
+
+// RouterConfig wires a Router. Backends is required; everything else
+// defaults sanely.
+type RouterConfig struct {
+	// Backends is the worker address list ("host:port"). The membership
+	// set (not its order) determines placement.
+	Backends []string
+	// Replicas is the virtual-node count per backend (default 128).
+	Replicas int
+	// LoadBound is the bounded-load factor c: a backend is skipped (for
+	// the next ring owner) while its in-flight count exceeds
+	// c·(total+1)/healthy. <= 0 disables the bound; values <= 1 are
+	// clamped to 1.25.
+	LoadBound float64
+	// MaxAttempts caps distinct backends tried per request (default: all).
+	MaxAttempts int
+	// Admit tunes the admission stage.
+	Admit AdmitConfig
+	// Breaker tunes every backend's circuit breaker. OnTransition is
+	// overridden by the router (it logs and emits events itself).
+	Breaker BreakerConfig
+	// Transport performs the proxied requests (default: a dedicated
+	// http.Transport with per-backend keep-alive pools).
+	Transport http.RoundTripper
+	// Logger receives breaker transitions and shed/forward warnings. nil
+	// discards.
+	Logger *slog.Logger
+	// Tracer mirrors breaker transitions as obs.KindAlert events (the
+	// /events ring). nil disables.
+	Tracer obs.Tracer
+}
+
+// Router is the cluster front-end. Create with NewRouter, mount with
+// Handler.
+type Router struct {
+	ring      *Ring
+	breakers  []*Breaker
+	inflight  []atomic.Int64 // per-backend in-flight proxied requests
+	total     atomic.Int64   // cluster-wide in-flight proxied requests
+	loadBound float64
+	maxTries  int
+
+	admit     *Admitter
+	transport http.RoundTripper
+	log       *slog.Logger
+	tracer    obs.Tracer
+
+	// Counters (atomics; exposed on /metrics and the timeseries source).
+	requests     atomic.Int64 // proxied requests received (post-admission)
+	submits      atomic.Int64 // submissions received (pre-admission)
+	submitsOK    atomic.Int64 // submissions admitted
+	forwarded    atomic.Int64 // requests answered by some backend
+	forwardErrs  atomic.Int64 // attempts that failed (transport or 5xx gateway)
+	failovers    atomic.Int64 // requests answered by a non-primary owner
+	noBackend    atomic.Int64 // requests no backend could take
+	perBackendOK []atomic.Int64
+	perBackendKO []atomic.Int64
+
+	scratch sync.Pool
+}
+
+// NewRouter validates cfg and builds the ring, breakers, and admitter.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends configured")
+	}
+	ring := NewRing(cfg.Backends, cfg.Replicas)
+	if ring.Len() == 0 {
+		return nil, errors.New("cluster: no usable backend addresses")
+	}
+	if ring.Len() > maskBackends {
+		return nil, fmt.Errorf("cluster: %d backends exceed the supported %d", ring.Len(), maskBackends)
+	}
+	lb := cfg.LoadBound
+	if lb > 0 && lb <= 1 {
+		lb = 1.25
+	}
+	tries := cfg.MaxAttempts
+	if tries <= 0 || tries > ring.Len() {
+		tries = ring.Len()
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       90 * time.Second,
+			ResponseHeaderTimeout: 30 * time.Second,
+		}
+	}
+	rt := &Router{
+		ring:         ring,
+		breakers:     make([]*Breaker, ring.Len()),
+		inflight:     make([]atomic.Int64, ring.Len()),
+		loadBound:    lb,
+		maxTries:     tries,
+		admit:        NewAdmitter(cfg.Admit),
+		transport:    transport,
+		log:          log,
+		tracer:       cfg.Tracer,
+		perBackendOK: make([]atomic.Int64, ring.Len()),
+		perBackendKO: make([]atomic.Int64, ring.Len()),
+	}
+	rt.scratch.New = func() any { return &routeScratch{seq: make([]int, 0, maskBackends)} }
+	for i, addr := range ring.Backends() {
+		bcfg := cfg.Breaker
+		addr := addr
+		bcfg.OnTransition = func(from, to BreakerState, now time.Time) {
+			// Called with the breaker lock held: log and mirror, nothing more.
+			level := slog.LevelWarn
+			if to == BreakerClosed {
+				level = slog.LevelInfo
+			}
+			rt.log.LogAttrs(context.Background(), level, "breaker state",
+				slog.String("backend", addr),
+				slog.String("from", from.String()), slog.String("to", to.String()))
+			if rt.tracer != nil {
+				rt.tracer.Trace(obs.Event{
+					Kind: obs.KindAlert, Protocol: obs.ProtoCluster,
+					Phase: addr + ":" + to.String(),
+				})
+			}
+		}
+		rt.breakers[i] = NewBreaker(bcfg)
+	}
+	return rt, nil
+}
+
+// Ring returns the router's hash ring (immutable).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Breaker returns backend i's circuit breaker (for tests and status).
+func (rt *Router) Breaker(i int) *Breaker { return rt.breakers[i] }
+
+// Admitter returns the admission stage.
+func (rt *Router) Admitter() *Admitter { return rt.admit }
+
+type routeScratch struct{ seq []int }
+
+// overloaded reports whether backend bi is past the bounded-load cap
+// c·(total+1)/healthy. With the bound disabled it always returns false.
+func (rt *Router) overloaded(bi int) bool {
+	if rt.loadBound <= 0 {
+		return false
+	}
+	healthy := 0
+	for i := range rt.breakers {
+		if rt.breakers[i].State() != BreakerOpen {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		return false
+	}
+	cap64 := rt.loadBound * float64(rt.total.Load()+1) / float64(healthy)
+	limit := int64(cap64)
+	if float64(limit) < cap64 {
+		limit++ // ceil
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return rt.inflight[bi].Load() >= limit
+}
+
+// Handler builds the router's combined mux: the proxied jobs API under
+// /api/v1 (with the same unversioned aliases the workers serve) plus the
+// introspection endpoints from httpserve (/metrics, /api/v1/timeseries,
+// /api/v1/alerts, /api/v1/cluster, /events, /healthz, /readyz, pprof).
+// Unset obsOpts fields are wired to the router: ExtraMetrics to WriteProm
+// (chained after any caller-provided hook) and Cluster to StatusJSON.
+func (rt *Router) Handler(obsOpts httpserve.Options) http.Handler {
+	if prev := obsOpts.ExtraMetrics; prev != nil {
+		obsOpts.ExtraMetrics = func(w io.Writer) { prev(w); rt.WriteProm(w) }
+	} else {
+		obsOpts.ExtraMetrics = rt.WriteProm
+	}
+	if obsOpts.Cluster == nil {
+		obsOpts.Cluster = rt.StatusJSON
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", httpserve.NewHandler(obsOpts))
+	for _, prefix := range []string{serve.APIPrefix, ""} {
+		prefix := prefix
+		mux.HandleFunc("POST "+prefix+"/jobs", func(w http.ResponseWriter, r *http.Request) {
+			rt.handleSubmit(w, r)
+		})
+		mux.HandleFunc("GET "+prefix+"/jobs", func(w http.ResponseWriter, r *http.Request) {
+			rt.handleList(w, r)
+		})
+		mux.HandleFunc(prefix+"/jobs/{rest...}", func(w http.ResponseWriter, r *http.Request) {
+			rest := r.PathValue("rest")
+			id, _, _ := strings.Cut(rest, "/")
+			if id == "" {
+				writeError(w, http.StatusNotFound, serve.CodeNotFound, "missing job id")
+				return
+			}
+			rt.forward(w, r, id, nil)
+		})
+	}
+	return mux
+}
+
+// handleSubmit runs admission, derives the shard key from the spec's
+// content address, and proxies the submission to the owning shard.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	rt.submits.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	var req serve.SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	client := req.Client
+	if client == "" {
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			client = host
+		} else {
+			client = r.RemoteAddr
+		}
+	}
+	bulk := req.Priority == serve.PriorityBulk
+	dec := rt.admit.Admit(client, bulk, rt.total.Load(), time.Now())
+	if !dec.OK {
+		code := CodeShedOverload
+		if dec.Reason == ShedRateLimit {
+			code = CodeShedRateLimit
+		}
+		secs := int(dec.RetryAfter / time.Second)
+		if dec.RetryAfter%time.Second != 0 || secs < 1 {
+			secs++
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		rt.log.Debug("submission shed",
+			"client", client, "reason", dec.Reason, "retry_after_s", secs)
+		writeError(w, http.StatusTooManyRequests, code,
+			"cluster admission: "+dec.Reason+" — honor Retry-After")
+		return
+	}
+	rt.submitsOK.Add(1)
+	key, err := req.Spec.Key()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, serve.CodeInternal, err.Error())
+		return
+	}
+	rt.forward(w, r, key, body)
+}
+
+// handleList fans GET /jobs out to every non-open backend and merges the
+// job arrays — the one read that has no single owning shard.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	var jobs []serve.JobStatus
+	for i, addr := range rt.ring.Backends() {
+		if rt.breakers[i].State() == BreakerOpen {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			"http://"+addr+serve.APIPrefix+"/jobs", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.transport.RoundTrip(req)
+		if err != nil {
+			rt.breakers[i].recordPlain(false)
+			continue
+		}
+		var out struct {
+			Jobs []serve.JobStatus `json:"jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK {
+			jobs = append(jobs, out.Jobs...)
+		}
+	}
+	if jobs == nil {
+		jobs = []serve.JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []serve.JobStatus `json:"jobs"`
+	}{Jobs: jobs})
+}
+
+// recordPlain feeds a non-probe outcome with the current generation —
+// used by the list fan-out, which bypasses Allow.
+func (b *Breaker) recordPlain(success bool) {
+	now := time.Now()
+	b.mu.Lock()
+	gen := b.gen
+	b.mu.Unlock()
+	b.Record(now, success, false, gen)
+}
+
+// forward proxies one request along key's owner sequence: the owning
+// shard first, then each successive ring owner while earlier ones are
+// tripped, over the bounded-load cap, or fail the attempt. A non-nil body
+// replaces the (already consumed) request body on every attempt.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	rt.requests.Add(1)
+	sc := rt.scratch.Get().(*routeScratch)
+	defer rt.scratch.Put(sc)
+	sc.seq = rt.ring.OwnerSeq(key, sc.seq)
+
+	backends := rt.ring.Backends()
+	tried := 0
+	for pos, bi := range sc.seq {
+		if tried >= rt.maxTries {
+			break
+		}
+		// Bounded load: while this owner is disproportionately busy, spill
+		// to the next one — unless it is the last candidate standing.
+		if pos < len(sc.seq)-1 && rt.overloaded(bi) {
+			continue
+		}
+		ok, probe, gen := rt.breakers[bi].Allow(time.Now())
+		if !ok {
+			continue
+		}
+		tried++
+		rt.inflight[bi].Add(1)
+		rt.total.Add(1)
+		resp, err := rt.do(r, backends[bi], body)
+		failed := err != nil || isGatewayFailure(resp.StatusCode)
+		rt.breakers[bi].Record(time.Now(), !failed, probe, gen)
+		if failed {
+			rt.inflight[bi].Add(-1)
+			rt.total.Add(-1)
+			rt.forwardErrs.Add(1)
+			rt.perBackendKO[bi].Add(1)
+			detail := ""
+			if err != nil {
+				detail = err.Error()
+			} else {
+				detail = resp.Status
+				resp.Body.Close()
+			}
+			rt.log.Warn("forward attempt failed",
+				"backend", backends[bi], "path", r.URL.Path, "err", detail)
+			continue
+		}
+		rt.perBackendOK[bi].Add(1)
+		rt.forwarded.Add(1)
+		if pos > 0 {
+			rt.failovers.Add(1)
+		}
+		rt.relay(w, resp, backends[bi])
+		rt.inflight[bi].Add(-1)
+		rt.total.Add(-1)
+		return
+	}
+	rt.noBackend.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, CodeNoBackend,
+		"no healthy backend for this key — all ring owners tripped or unreachable")
+}
+
+// isGatewayFailure reports whether a backend reply should count against
+// its breaker and fall through to the next owner. 502/503/504 are infra
+// verdicts (draining, dead proxy hop); plain 4xx/5xx application answers
+// — a failed job's 500, a 404, even 429 backpressure — are real answers
+// from a live backend and pass through untouched.
+func isGatewayFailure(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do performs one proxied attempt against backend.
+func (rt *Router) do(r *http.Request, backend string, body []byte) (*http.Response, error) {
+	out := r.Clone(r.Context())
+	out.URL.Scheme = "http"
+	out.URL.Host = backend
+	out.RequestURI = ""
+	out.Host = ""
+	if body != nil {
+		out.Body = io.NopCloser(bytes.NewReader(body))
+		out.ContentLength = int64(len(body))
+	} else {
+		out.Body = http.NoBody
+		out.ContentLength = 0
+	}
+	return rt.transport.RoundTrip(out)
+}
+
+// relay copies the backend reply to the client, flushing after every
+// chunk so streamed NDJSON/SSE bodies pass through live.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, backend string) {
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vv := range resp.Header {
+		h[k] = vv
+	}
+	h.Set(serve.BackendHeader, backend)
+	w.WriteHeader(resp.StatusCode)
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			rc.Flush() //nolint:errcheck // best-effort; ends with the conn
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// --- status, metrics ----------------------------------------------------
+
+// BackendStatus is one worker's row in the cluster status document.
+type BackendStatus struct {
+	Addr     string  `json:"addr"`
+	State    string  `json:"state"`
+	Inflight int64   `json:"inflight"`
+	Requests int64   `json:"requests"`
+	Failures int64   `json:"failures"`
+	Trips    uint64  `json:"trips"`
+	Share    float64 `json:"keyspace_share"`
+	Consec   int     `json:"consecutive_failures"`
+	WinRate  float64 `json:"window_failure_rate"`
+	Probes   int     `json:"inflight_probes"`
+}
+
+// ClusterStatus is the GET /api/v1/cluster document.
+type ClusterStatus struct {
+	Backends []BackendStatus `json:"backends"`
+	Ring     struct {
+		Backends int `json:"backends"`
+		Replicas int `json:"replicas"`
+		VNodes   int `json:"vnodes"`
+	} `json:"ring"`
+	Admission AdmitStats `json:"admission"`
+	Inflight  int64      `json:"inflight"`
+	Counters  struct {
+		Requests        int64 `json:"requests"`
+		Submits         int64 `json:"submits"`
+		SubmitsAdmitted int64 `json:"submits_admitted"`
+		Forwarded       int64 `json:"forwarded"`
+		ForwardErrors   int64 `json:"forward_errors"`
+		Failovers       int64 `json:"failovers"`
+		NoBackend       int64 `json:"no_backend"`
+	} `json:"counters"`
+}
+
+// Status snapshots the cluster state.
+func (rt *Router) Status() ClusterStatus {
+	var st ClusterStatus
+	shares := rt.ring.Shares()
+	for i, addr := range rt.ring.Backends() {
+		bs := rt.breakers[i].Stats()
+		st.Backends = append(st.Backends, BackendStatus{
+			Addr:     addr,
+			State:    bs.State.String(),
+			Inflight: rt.inflight[i].Load(),
+			Requests: rt.perBackendOK[i].Load(),
+			Failures: rt.perBackendKO[i].Load(),
+			Trips:    bs.Trips,
+			Share:    shares[i],
+			Consec:   bs.ConsecutiveFailures,
+			WinRate:  bs.WindowFailureRate,
+			Probes:   bs.InFlightProbes,
+		})
+	}
+	st.Ring.Backends = rt.ring.Len()
+	st.Ring.Replicas = rt.ring.Replicas()
+	st.Ring.VNodes = rt.ring.VNodes()
+	st.Admission = rt.admit.Stats()
+	st.Inflight = rt.total.Load()
+	st.Counters.Requests = rt.requests.Load()
+	st.Counters.Submits = rt.submits.Load()
+	st.Counters.SubmitsAdmitted = rt.submitsOK.Load()
+	st.Counters.Forwarded = rt.forwarded.Load()
+	st.Counters.ForwardErrors = rt.forwardErrs.Load()
+	st.Counters.Failovers = rt.failovers.Load()
+	st.Counters.NoBackend = rt.noBackend.Load()
+	return st
+}
+
+// StatusJSON renders Status for the /api/v1/cluster endpoint.
+func (rt *Router) StatusJSON() ([]byte, error) {
+	return json.Marshal(rt.Status())
+}
+
+// OpenBreakers returns how many backends are currently tripped (open or
+// half-open — either way their keyspace routes elsewhere first).
+func (rt *Router) OpenBreakers() int {
+	n := 0
+	for _, b := range rt.breakers {
+		if b.State() != BreakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteProm writes the router's metric families in Prometheus text
+// exposition — mounted as httpserve's ExtraMetrics hook.
+func (rt *Router) WriteProm(w io.Writer) {
+	st := rt.Status()
+	promGauge(w, "netags_cluster_backends", "Configured backend count.", float64(st.Ring.Backends))
+	promGauge(w, "netags_cluster_ring_vnodes", "Virtual nodes on the hash ring.", float64(st.Ring.VNodes))
+	promGauge(w, "netags_cluster_inflight", "Proxied requests currently in flight.", float64(st.Inflight))
+	open := 0
+	for _, b := range st.Backends {
+		if b.State != "closed" {
+			open++
+		}
+	}
+	promGauge(w, "netags_cluster_breakers_open", "Backends whose breaker is not closed.", float64(open))
+	promCounter(w, "netags_cluster_requests_total", "Proxied requests received.", st.Counters.Requests)
+	promCounter(w, "netags_cluster_submits_total", "Submissions received (pre-admission).", st.Counters.Submits)
+	promCounter(w, "netags_cluster_submits_admitted_total", "Submissions past admission control.", st.Counters.SubmitsAdmitted)
+	promCounter(w, "netags_cluster_forwarded_total", "Requests answered by a backend.", st.Counters.Forwarded)
+	promCounter(w, "netags_cluster_forward_errors_total", "Proxy attempts that failed (transport error or 502/503/504).", st.Counters.ForwardErrors)
+	promCounter(w, "netags_cluster_failovers_total", "Requests served by a non-primary ring owner.", st.Counters.Failovers)
+	promCounter(w, "netags_cluster_no_backend_total", "Requests no backend could take.", st.Counters.NoBackend)
+	fmt.Fprint(w, "# HELP netags_cluster_shed_total Submissions rejected by admission control, by reason.\n# TYPE netags_cluster_shed_total counter\n")
+	fmt.Fprintf(w, "netags_cluster_shed_total{reason=%q} %d\n", ShedRateLimit, st.Admission.ShedRateLimit)
+	fmt.Fprintf(w, "netags_cluster_shed_total{reason=%q} %d\n", ShedOverload, st.Admission.ShedOverload)
+	promGauge(w, "netags_cluster_admit_clients", "Client token buckets tracked.", float64(st.Admission.Clients))
+
+	fmt.Fprint(w, "# HELP netags_cluster_breaker_state Breaker position per backend: 0 closed, 1 half-open, 2 open.\n# TYPE netags_cluster_breaker_state gauge\n")
+	for _, b := range st.Backends {
+		v := 0
+		switch b.State {
+		case "half-open":
+			v = 1
+		case "open":
+			v = 2
+		}
+		fmt.Fprintf(w, "netags_cluster_breaker_state{backend=%q} %d\n", b.Addr, v)
+	}
+	fmt.Fprint(w, "# HELP netags_cluster_backend_inflight In-flight proxied requests per backend.\n# TYPE netags_cluster_backend_inflight gauge\n")
+	for _, b := range st.Backends {
+		fmt.Fprintf(w, "netags_cluster_backend_inflight{backend=%q} %d\n", b.Addr, b.Inflight)
+	}
+	fmt.Fprint(w, "# HELP netags_cluster_backend_requests_total Successful proxied requests per backend.\n# TYPE netags_cluster_backend_requests_total counter\n")
+	for _, b := range st.Backends {
+		fmt.Fprintf(w, "netags_cluster_backend_requests_total{backend=%q} %d\n", b.Addr, b.Requests)
+	}
+	fmt.Fprint(w, "# HELP netags_cluster_backend_failures_total Failed proxy attempts per backend.\n# TYPE netags_cluster_backend_failures_total counter\n")
+	for _, b := range st.Backends {
+		fmt.Fprintf(w, "netags_cluster_backend_failures_total{backend=%q} %d\n", b.Addr, b.Failures)
+	}
+	fmt.Fprint(w, "# HELP netags_cluster_breaker_trips_total Breaker trips per backend.\n# TYPE netags_cluster_breaker_trips_total counter\n")
+	for _, b := range st.Backends {
+		fmt.Fprintf(w, "netags_cluster_breaker_trips_total{backend=%q} %d\n", b.Addr, b.Trips)
+	}
+}
+
+// --- small local JSON/prom helpers (the serve layer's are unexported) ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, serve.CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+// writeError speaks the serve layer's one error envelope so cluster and
+// worker rejections are indistinguishable to clients.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}{Error: struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}{Code: code, Message: msg}})
+	w.Write(append(b, '\n'))
+}
+
+func promCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func promGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}

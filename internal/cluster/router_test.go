@@ -1,0 +1,547 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netags/internal/obs/httpserve"
+	"netags/internal/serve"
+)
+
+// stubBackend is a fake worker that records hits and answers with a
+// configurable status; its body echoes the backend's tag so tests can see
+// who answered.
+type stubBackend struct {
+	*httptest.Server
+	tag    string
+	hits   atomic.Int64
+	status atomic.Int32 // response status; 0 means 200
+	closed atomic.Bool
+}
+
+func newStubBackend(tag string) *stubBackend {
+	sb := &stubBackend{tag: tag}
+	sb.Server = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sb.hits.Add(1)
+		code := int(sb.status.Load())
+		if code == 0 {
+			code = http.StatusOK
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		fmt.Fprintf(w, `{"backend":%q,"path":%q}`, sb.tag, r.URL.Path)
+	}))
+	return sb
+}
+
+func (sb *stubBackend) addr() string { return sb.Listener.Addr().String() }
+
+func newTestRouter(t *testing.T, cfg RouterConfig, backends ...*stubBackend) (*Router, *httptest.Server) {
+	t.Helper()
+	for _, sb := range backends {
+		cfg.Backends = append(cfg.Backends, sb.addr())
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rt.Handler(httpserve.Options{}))
+	t.Cleanup(srv.Close)
+	return rt, srv
+}
+
+func submitBody(t *testing.T, seed uint64) ([]byte, string) {
+	t.Helper()
+	spec := serve.JobSpec{N: 100, Trials: 1, RValues: []float64{6}, Seed: seed}
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(serve.SubmitRequest{Spec: spec, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, key
+}
+
+func postJobs(t *testing.T, base string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestRouterRoutesByContentAddress(t *testing.T) {
+	b1, b2, b3 := newStubBackend("w1"), newStubBackend("w2"), newStubBackend("w3")
+	defer b1.Close()
+	defer b2.Close()
+	defer b3.Close()
+	rt, srv := newTestRouter(t, RouterConfig{}, b1, b2, b3)
+
+	stubs := map[string]*stubBackend{b1.addr(): b1, b2.addr(): b2, b3.addr(): b3}
+	for seed := uint64(0); seed < 8; seed++ {
+		body, key := submitBody(t, seed)
+		wantAddr := rt.Ring().Backends()[rt.Ring().Owner(key)]
+
+		resp := postJobs(t, srv.URL, body)
+		var got struct {
+			Backend string `json:"backend"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d", seed, resp.StatusCode)
+		}
+		if got.Backend != stubs[wantAddr].tag {
+			t.Fatalf("seed %d: answered by %s, ring owner is %s", seed, got.Backend, stubs[wantAddr].tag)
+		}
+		if hdr := resp.Header.Get(serve.BackendHeader); hdr != wantAddr {
+			t.Fatalf("seed %d: %s header %q, want %q", seed, serve.BackendHeader, hdr, wantAddr)
+		}
+
+		// Reads for the same id land on the same shard (the id IS the key).
+		getResp, err := http.Get(srv.URL + "/api/v1/jobs/" + key + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		getResp.Body.Close()
+		if hdr := getResp.Header.Get(serve.BackendHeader); hdr != wantAddr {
+			t.Fatalf("seed %d: read routed to %q, submit to %q", seed, hdr, wantAddr)
+		}
+	}
+}
+
+func TestRouterFailoverToNextOwner(t *testing.T) {
+	b1, b2, b3 := newStubBackend("w1"), newStubBackend("w2"), newStubBackend("w3")
+	defer b2.Close()
+	defer b3.Close()
+	rt, srv := newTestRouter(t, RouterConfig{}, b1, b2, b3)
+
+	// Find a key whose primary owner is b1, then kill b1.
+	var body []byte
+	var key string
+	for seed := uint64(0); ; seed++ {
+		body, key = submitBody(t, seed)
+		if rt.Ring().Backends()[rt.Ring().Owner(key)] == b1.addr() {
+			break
+		}
+	}
+	seq := rt.Ring().OwnerSeq(key, nil)
+	wantNext := rt.Ring().Backends()[seq[1]]
+	b1.Close()
+	b1.closed.Store(true)
+
+	resp := postJobs(t, srv.URL, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after failover, want 200", resp.StatusCode)
+	}
+	if hdr := resp.Header.Get(serve.BackendHeader); hdr != wantNext {
+		t.Fatalf("failover landed on %q, want next ring owner %q", hdr, wantNext)
+	}
+	st := rt.Status()
+	if st.Counters.Failovers != 1 || st.Counters.ForwardErrors != 1 {
+		t.Fatalf("counters %+v, want 1 failover + 1 forward error", st.Counters)
+	}
+}
+
+func TestRouterBreakerTripsAndSkipsDeadBackend(t *testing.T) {
+	b1, b2 := newStubBackend("w1"), newStubBackend("w2")
+	defer b1.Close()
+	defer b2.Close()
+	rt, srv := newTestRouter(t, RouterConfig{
+		Breaker: BreakerConfig{ConsecutiveFailures: 2, Cooldown: time.Hour},
+	}, b1, b2)
+
+	// b1 answers 503 (draining): a gateway failure that trips its breaker.
+	b1.status.Store(http.StatusServiceUnavailable)
+	var deadIdx int
+	for i, addr := range rt.Ring().Backends() {
+		if addr == b1.addr() {
+			deadIdx = i
+		}
+	}
+	// Drive submissions owned by b1 until the breaker trips.
+	tripped := false
+	for seed := uint64(0); seed < 64 && !tripped; seed++ {
+		body, key := submitBody(t, seed)
+		if rt.Ring().Owner(key) != deadIdx {
+			continue
+		}
+		resp := postJobs(t, srv.URL, body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d (should have failed over)", seed, resp.StatusCode)
+		}
+		tripped = rt.Breaker(deadIdx).State() == BreakerOpen
+	}
+	if !tripped {
+		t.Fatal("breaker never tripped")
+	}
+
+	// With the breaker open, b1 is skipped outright: no new hits.
+	before := b1.hits.Load()
+	for seed := uint64(0); seed < 16; seed++ {
+		body, _ := submitBody(t, 1000+seed)
+		resp := postJobs(t, srv.URL, body)
+		resp.Body.Close()
+	}
+	if got := b1.hits.Load(); got != before {
+		t.Fatalf("open breaker leaked %d requests to the dead backend", got-before)
+	}
+	if rt.OpenBreakers() != 1 {
+		t.Fatalf("OpenBreakers = %d, want 1", rt.OpenBreakers())
+	}
+}
+
+func TestRouterBreakerRecovery(t *testing.T) {
+	b1, b2 := newStubBackend("w1"), newStubBackend("w2")
+	defer b1.Close()
+	defer b2.Close()
+	rt, srv := newTestRouter(t, RouterConfig{
+		Breaker: BreakerConfig{
+			ConsecutiveFailures: 1, Cooldown: time.Millisecond,
+			HalfOpenProbes: 1, ProbeSuccesses: 1,
+		},
+	}, b1, b2)
+
+	var deadIdx int
+	for i, addr := range rt.Ring().Backends() {
+		if addr == b1.addr() {
+			deadIdx = i
+		}
+	}
+	b1.status.Store(http.StatusServiceUnavailable)
+	var body []byte
+	for seed := uint64(0); ; seed++ {
+		var key string
+		body, key = submitBody(t, seed)
+		if rt.Ring().Owner(key) == deadIdx {
+			break
+		}
+	}
+	resp := postJobs(t, srv.URL, body)
+	resp.Body.Close()
+	if rt.Breaker(deadIdx).State() != BreakerOpen {
+		t.Fatal("breaker did not trip")
+	}
+
+	// Backend heals; after the cooldown one probe goes through, succeeds,
+	// and closes the breaker.
+	b1.status.Store(0)
+	time.Sleep(5 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.Breaker(deadIdx).State() != BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker stuck %s after heal", rt.Breaker(deadIdx).State())
+		}
+		resp := postJobs(t, srv.URL, body)
+		resp.Body.Close()
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestRouterAdmissionShedsWithRetryAfter(t *testing.T) {
+	b1 := newStubBackend("w1")
+	defer b1.Close()
+	_, srv := newTestRouter(t, RouterConfig{
+		Admit: AdmitConfig{Rate: 0.001, Burst: 1},
+	}, b1)
+
+	body, _ := submitBody(t, 1)
+	resp := postJobs(t, srv.URL, body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first submit status %d", resp.StatusCode)
+	}
+	resp = postJobs(t, srv.URL, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeShedRateLimit {
+		t.Fatalf("error code %q, want %q", env.Error.Code, CodeShedRateLimit)
+	}
+}
+
+func TestRouterShedMapsToClientErrBusy(t *testing.T) {
+	b1 := newStubBackend("w1")
+	defer b1.Close()
+	_, srv := newTestRouter(t, RouterConfig{
+		Admit: AdmitConfig{Rate: 0.001, Burst: 1},
+	}, b1)
+
+	cl := &serve.Client{BaseURL: srv.URL}
+	ctx := context.Background()
+	spec := serve.JobSpec{N: 100, Trials: 1, RValues: []float64{6}}
+	if _, err := cl.Submit(ctx, spec, serve.SubmitOptions{}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	_, err := cl.Submit(ctx, spec, serve.SubmitOptions{})
+	var busy *serve.ErrBusy
+	if !errors.As(err, &busy) {
+		t.Fatalf("router shed surfaced as %T %v, want *serve.ErrBusy", err, err)
+	}
+	if busy.RetryAfter < time.Second {
+		t.Fatalf("ErrBusy.RetryAfter = %s, want >= 1s", busy.RetryAfter)
+	}
+}
+
+func TestRouterNoBackendAvailable(t *testing.T) {
+	b1 := newStubBackend("w1")
+	rt, srv := newTestRouter(t, RouterConfig{
+		Breaker: BreakerConfig{ConsecutiveFailures: 1, Cooldown: time.Hour},
+	}, b1)
+	b1.Close()
+
+	body, _ := submitBody(t, 1)
+	// First submit fails through to exhaustion and trips the breaker.
+	resp := postJobs(t, srv.URL, body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	// Second is refused by the open breaker without an attempt.
+	resp = postJobs(t, srv.URL, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no-backend 503 missing Retry-After")
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeNoBackend {
+		t.Fatalf("error code %q, want %q", env.Error.Code, CodeNoBackend)
+	}
+	if rt.Status().Counters.NoBackend == 0 {
+		t.Fatal("no_backend counter did not move")
+	}
+}
+
+func TestRouterBadSubmitBody(t *testing.T) {
+	b1 := newStubBackend("w1")
+	defer b1.Close()
+	_, srv := newTestRouter(t, RouterConfig{}, b1)
+	resp, err := http.Post(srv.URL+"/api/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if b1.hits.Load() != 0 {
+		t.Fatal("malformed submit reached a backend")
+	}
+}
+
+func TestRouterClusterStatusEndpoint(t *testing.T) {
+	b1, b2 := newStubBackend("w1"), newStubBackend("w2")
+	defer b1.Close()
+	defer b2.Close()
+	rt, srv := newTestRouter(t, RouterConfig{}, b1, b2)
+
+	body, _ := submitBody(t, 1)
+	resp := postJobs(t, srv.URL, body)
+	resp.Body.Close()
+
+	stResp, err := http.Get(srv.URL + "/api/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stResp.Body.Close()
+	if stResp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/v1/cluster status %d", stResp.StatusCode)
+	}
+	var st ClusterStatus
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Backends) != 2 || st.Ring.Backends != 2 {
+		t.Fatalf("status lists %d backends, want 2", len(st.Backends))
+	}
+	share := 0.0
+	for _, b := range st.Backends {
+		if b.State != "closed" {
+			t.Fatalf("backend %s state %q, want closed", b.Addr, b.State)
+		}
+		share += b.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("keyspace shares sum to %.4f", share)
+	}
+	if st.Counters.Submits != 1 || st.Counters.Forwarded != 1 {
+		t.Fatalf("counters %+v", st.Counters)
+	}
+	_ = rt
+}
+
+func TestRouterMetricsExposition(t *testing.T) {
+	b1 := newStubBackend("w1")
+	defer b1.Close()
+	_, srv := newTestRouter(t, RouterConfig{}, b1)
+	body, _ := submitBody(t, 1)
+	resp := postJobs(t, srv.URL, body)
+	resp.Body.Close()
+
+	mResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mResp.Body)
+	out := buf.String()
+	for _, family := range []string{
+		"netags_cluster_backends 1",
+		"netags_cluster_submits_total 1",
+		"netags_cluster_forwarded_total 1",
+		"netags_cluster_breakers_open 0",
+		"netags_cluster_breaker_state{backend=",
+		"netags_cluster_shed_total{reason=\"ratelimit\"} 0",
+	} {
+		if !strings.Contains(out, family) {
+			t.Fatalf("/metrics missing %q in:\n%s", family, out)
+		}
+	}
+}
+
+func TestRouterListFanOutMerges(t *testing.T) {
+	mkListBackend := func(jobs string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"jobs":%s}`, jobs)
+		}))
+	}
+	s1 := mkListBackend(`[{"id":"aaa"},{"id":"bbb"}]`)
+	s2 := mkListBackend(`[{"id":"ccc"}]`)
+	defer s1.Close()
+	defer s2.Close()
+	u1, _ := url.Parse(s1.URL)
+	u2, _ := url.Parse(s2.URL)
+	rt, err := NewRouter(RouterConfig{Backends: []string{u1.Host, u2.Host}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rt.Handler(httpserve.Options{}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []serve.JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 3 {
+		t.Fatalf("merged %d jobs, want 3", len(out.Jobs))
+	}
+}
+
+// TestRouterEndToEndRealWorkers proxies a real submission through to real
+// serve managers and byte-compares the result against a direct run — the
+// in-process version of scripts/cluster_e2e.sh's identity check.
+func TestRouterEndToEndRealWorkers(t *testing.T) {
+	var workers []string
+	for i := 0; i < 2; i++ {
+		m := serve.NewManager(serve.Config{Workers: 1})
+		srv, err := serve.StartServer("127.0.0.1:0", m, httpserve.Options{}, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		workers = append(workers, srv.Addr())
+	}
+	rt, err := NewRouter(RouterConfig{Backends: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler(httpserve.Options{}))
+	defer front.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	spec := serve.JobSpec{N: 100, Trials: 1, RValues: []float64{6}, Seed: 11}
+
+	// Direct single-node reference.
+	ref := serve.NewManager(serve.Config{Workers: 1})
+	refSrv, err := serve.StartServer("127.0.0.1:0", ref, httpserve.Options{}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSrv.Close()
+	refCl := &serve.Client{BaseURL: "http://" + refSrv.Addr()}
+	refSub, err := refCl.Submit(ctx, spec, serve.SubmitOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refCl.Wait(ctx, refSub.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want, err := refCl.Result(ctx, refSub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same spec through the router: submit, await over the proxied stream,
+	// fetch the proxied result.
+	cl := &serve.Client{BaseURL: front.URL}
+	sub, err := cl.Submit(ctx, spec, serve.SubmitOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID != refSub.ID {
+		t.Fatalf("content address differs across paths: %s vs %s", sub.ID, refSub.ID)
+	}
+	points := 0
+	if _, err := cl.Await(ctx, sub.ID, func(serve.PointRecord) { points++ }); err != nil {
+		t.Fatalf("await through router: %v", err)
+	}
+	if points == 0 {
+		t.Fatal("proxied stream delivered no points")
+	}
+	got, err := cl.Result(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("routed result differs from single-node reference:\n%s\nvs\n%s", got, want)
+	}
+}

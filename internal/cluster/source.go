@@ -1,0 +1,78 @@
+// Timeseries integration: the router publishes its counters as a sampler
+// source and ships default SLO rules, mirroring what internal/serve does
+// for a single worker — the same dashboard, alerts endpoint, and burn-rate
+// machinery observe the cluster edge.
+package cluster
+
+import (
+	"netags/internal/obs/timeseries"
+)
+
+// TimeseriesSource adapts the router's counters to a timeseries sampler
+// source. Counter series carry the _total suffix (the evaluator's burn
+// rules take rates over deltas); gauges are sampled as-is.
+func (rt *Router) TimeseriesSource() timeseries.Source {
+	return func(rec func(name string, v float64)) {
+		st := rt.Status()
+		rec("cluster_requests_total", float64(st.Counters.Requests))
+		rec("cluster_submits_total", float64(st.Counters.Submits))
+		rec("cluster_submits_admitted_total", float64(st.Counters.SubmitsAdmitted))
+		rec("cluster_forwarded_total", float64(st.Counters.Forwarded))
+		rec("cluster_forward_ok_total", float64(st.Counters.Forwarded))
+		rec("cluster_forward_errors_total", float64(st.Counters.ForwardErrors))
+		rec("cluster_failovers_total", float64(st.Counters.Failovers))
+		rec("cluster_no_backend_total", float64(st.Counters.NoBackend))
+		rec("cluster_shed_total", float64(st.Admission.ShedRateLimit+st.Admission.ShedOverload))
+		rec("cluster_shed_ratelimit_total", float64(st.Admission.ShedRateLimit))
+		rec("cluster_shed_overload_total", float64(st.Admission.ShedOverload))
+		rec("cluster_inflight", float64(st.Inflight))
+		open, healthy := 0, 0
+		for _, b := range st.Backends {
+			if b.State == "closed" {
+				healthy++
+			} else {
+				open++
+			}
+		}
+		rec("cluster_breakers_open", float64(open))
+		rec("cluster_backends_healthy", float64(healthy))
+	}
+}
+
+// DefaultSLORules returns the router's alerting policy:
+//
+//   - cluster_breaker_open: any backend breaker not closed. A threshold
+//     rule, not a burn rule — one tripped shard is immediately actionable.
+//   - admit_shed_burn: the admitted/submitted ratio burning through a 90%
+//     admission objective — sustained shedding, not a momentary spike.
+//   - forward_error_burn: forwarding success burning through 99% — the
+//     cluster is failing requests faster than the error budget allows.
+func DefaultSLORules() []timeseries.Rule {
+	return []timeseries.Rule{
+		{
+			Name:    "cluster_breaker_open",
+			Series:  "cluster_breakers_open",
+			Op:      ">=",
+			Value:   0.5,
+			WindowS: 10,
+		},
+		{
+			Name:      "admit_shed_burn",
+			Good:      "cluster_submits_admitted_total",
+			Total:     "cluster_submits_total",
+			Objective: 0.90,
+			Burn:      2,
+			MinTotal:  5,
+			WindowS:   60,
+		},
+		{
+			Name:      "forward_error_burn",
+			Good:      "cluster_forward_ok_total",
+			Total:     "cluster_forwarded_total",
+			Objective: 0.99,
+			Burn:      2,
+			MinTotal:  10,
+			WindowS:   60,
+		},
+	}
+}

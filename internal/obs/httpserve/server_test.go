@@ -3,6 +3,7 @@ package httpserve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,8 @@ import (
 	"netags/internal/experiment"
 	"netags/internal/obs"
 )
+
+var errAlways = errors.New("cluster source down")
 
 func get(t *testing.T, url string) (int, []byte) {
 	t.Helper()
@@ -141,6 +144,33 @@ func TestServerDisabledEndpoints(t *testing.T) {
 	code, body = get(t, ts.URL+"/")
 	if code != http.StatusOK || len(body) == 0 {
 		t.Errorf("index page: %d %q", code, body)
+	}
+}
+
+// TestClusterEndpoint: /api/v1/cluster proxies the configured source and
+// 404s without one.
+func TestClusterEndpoint(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(Options{
+		Cluster: func() ([]byte, error) { return []byte(`{"backends":[]}`), nil },
+	}))
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/api/v1/cluster")
+	if code != http.StatusOK || string(body) != `{"backends":[]}`+"\n" {
+		t.Errorf("/api/v1/cluster = %d %q", code, body)
+	}
+
+	bare := httptest.NewServer(NewHandler(Options{}))
+	defer bare.Close()
+	if code, _ := get(t, bare.URL+"/api/v1/cluster"); code != http.StatusNotFound {
+		t.Errorf("/api/v1/cluster without a source: %d, want 404", code)
+	}
+
+	broken := httptest.NewServer(NewHandler(Options{
+		Cluster: func() ([]byte, error) { return nil, errAlways },
+	}))
+	defer broken.Close()
+	if code, _ := get(t, broken.URL+"/api/v1/cluster"); code != http.StatusInternalServerError {
+		t.Errorf("failing cluster source: %d, want 500", code)
 	}
 }
 

@@ -92,6 +92,9 @@ const (
 	// ProtoSLO labels alert rule transitions (KindAlert); the rule name
 	// rides in Event.Phase ("<rule>:firing" / "<rule>:resolved").
 	ProtoSLO = "slo"
+	// ProtoCluster labels router breaker transitions (KindAlert); the
+	// backend address and new state ride in Event.Phase ("<addr>:<state>").
+	ProtoCluster = "cluster"
 )
 
 // Event is one structured trace record. It is a flat value type — no

@@ -15,10 +15,16 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
 )
+
+// BackendHeader is the response header a cluster router sets to the
+// backend worker that actually answered — shard-aware error context for
+// clients behind a router, absent when talking to a worker directly.
+const BackendHeader = "X-CCM-Backend"
 
 // Client is a helper over the jobs API — used by cmd/ccmserve and handy for
 // driving a remote server programmatically. The zero value is not usable;
@@ -57,13 +63,20 @@ type APIError struct {
 	Message string
 	// RetryAfter echoes the Retry-After header on 429 backpressure replies.
 	RetryAfter string
+	// Backend echoes the router's X-CCM-Backend header: which shard
+	// produced the error. Empty when talking to a worker directly.
+	Backend string
 }
 
 func (e *APIError) Error() string {
-	if e.Code != "" {
-		return fmt.Sprintf("serve client: status %d (%s): %s", e.StatusCode, e.Code, e.Message)
+	via := ""
+	if e.Backend != "" {
+		via = " [backend " + e.Backend + "]"
 	}
-	return fmt.Sprintf("serve client: status %d: %s", e.StatusCode, e.Message)
+	if e.Code != "" {
+		return fmt.Sprintf("serve client: status %d (%s)%s: %s", e.StatusCode, e.Code, via, e.Message)
+	}
+	return fmt.Sprintf("serve client: status %d%s: %s", e.StatusCode, via, e.Message)
 }
 
 // ErrBusy is the typed form of 429 queue backpressure: the server is full
@@ -104,7 +117,10 @@ func apiError(statusCode int, header http.Header, raw []byte) error {
 		}
 		return &ErrBusy{RetryAfter: d, Message: msg}
 	}
-	return &APIError{StatusCode: statusCode, Code: code, Message: msg, RetryAfter: retryAfter}
+	return &APIError{
+		StatusCode: statusCode, Code: code, Message: msg,
+		RetryAfter: retryAfter, Backend: header.Get(BackendHeader),
+	}
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body any, out any, accept ...int) error {
@@ -157,11 +173,37 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec, opts SubmitOptions) (
 	return out, err
 }
 
+// minBackoff floors every jittered backoff so a zero draw cannot busy-spin
+// the submit loop.
+const minBackoff = 50 * time.Millisecond
+
+// jitterBackoff spreads a Retry-After hint with full jitter: for a unit
+// draw u in [0,1) it returns a duration in [minBackoff, max(base,
+// minBackoff)]. Retry-After is the same number for every shed client, so
+// sleeping it verbatim synchronizes the retries into a thundering herd at
+// exactly the moment the server said it would recover; a uniform draw over
+// the whole interval spreads the herd across it.
+func jitterBackoff(base time.Duration, u float64) time.Duration {
+	if base < minBackoff {
+		base = minBackoff
+	}
+	d := time.Duration(u * float64(base))
+	if d < minBackoff {
+		d = minBackoff
+	}
+	if d > base {
+		d = base
+	}
+	return d
+}
+
 // SubmitRetry submits, and on queue backpressure waits out the server's
-// Retry-After hint and tries again — until admission or ctx cancels. The
-// wait between attempts respects ctx: cancellation interrupts the sleep
-// immediately, and the returned error then reports how many submissions
-// were attempted. Errors other than ErrBusy return as-is.
+// Retry-After hint — spread with full jitter so concurrent shed clients
+// do not stampede the recovering server in lockstep — and tries again,
+// until admission or ctx cancels. The wait between attempts respects ctx:
+// cancellation interrupts the sleep immediately, and the returned error
+// then reports how many submissions were attempted. Errors other than
+// ErrBusy return as-is.
 func (c *Client) SubmitRetry(ctx context.Context, spec JobSpec, opts SubmitOptions) (SubmitResponse, error) {
 	for attempts := 1; ; attempts++ {
 		out, err := c.Submit(ctx, spec, opts)
@@ -169,10 +211,11 @@ func (c *Client) SubmitRetry(ctx context.Context, spec JobSpec, opts SubmitOptio
 		if !errors.As(err, &busy) {
 			return out, err
 		}
-		backoff := busy.RetryAfter
-		if backoff <= 0 {
-			backoff = time.Second
+		hint := busy.RetryAfter
+		if hint <= 0 {
+			hint = time.Second
 		}
+		backoff := jitterBackoff(hint, rand.Float64())
 		c.log().Warn("submit backpressure; retrying",
 			"attempt", attempts, "backoff", backoff.String())
 		t := time.NewTimer(backoff)

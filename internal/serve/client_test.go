@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"errors"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
@@ -33,6 +34,63 @@ func TestSubmitRetryReportsAttempts(t *testing.T) {
 	}
 	if !strings.Contains(logBuf.String(), "submit backpressure") {
 		t.Fatalf("retry not logged: %q", logBuf.String())
+	}
+}
+
+// TestJitterBackoffBounds pins the full-jitter envelope: for any unit
+// draw, the sleep stays within [minBackoff, max(base, minBackoff)] — the
+// floor stops a zero draw from busy-spinning, the ceiling honors the
+// server's Retry-After as the worst case, and intermediate draws scale
+// linearly so concurrent shed clients spread across the interval instead
+// of stampeding at its end.
+func TestJitterBackoffBounds(t *testing.T) {
+	cases := []struct {
+		base time.Duration
+		u    float64
+		want time.Duration
+	}{
+		{2 * time.Second, 0, minBackoff},                // floor
+		{2 * time.Second, 0.25, 500 * time.Millisecond}, // linear
+		{2 * time.Second, 0.5, time.Second},
+		{2 * time.Second, 1, 2 * time.Second}, // ceiling = the hint
+		{time.Second, 0.999, 999 * time.Millisecond},
+		{0, 0.5, minBackoff},                   // degenerate hint floors
+		{10 * time.Millisecond, 1, minBackoff}, // sub-floor hint clamps up
+		{10 * time.Millisecond, 0, minBackoff},
+	}
+	for _, c := range cases {
+		got := jitterBackoff(c.base, c.u)
+		if got != c.want {
+			t.Errorf("jitterBackoff(%s, %g) = %s, want %s", c.base, c.u, got, c.want)
+		}
+		if got < minBackoff {
+			t.Errorf("jitterBackoff(%s, %g) = %s below the %s floor", c.base, c.u, got, minBackoff)
+		}
+		if ceil := max(c.base, minBackoff); got > ceil {
+			t.Errorf("jitterBackoff(%s, %g) = %s above the %s ceiling", c.base, c.u, got, ceil)
+		}
+	}
+}
+
+// TestAPIErrorCarriesBackend: a router-proxied error reply surfaces the
+// answering shard in the typed error and its message.
+func TestAPIErrorCarriesBackend(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(BackendHeader, "10.0.0.7:9081")
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such job")
+	}))
+	defer srv.Close()
+	cl := &Client{BaseURL: srv.URL}
+	_, err := cl.Job(context.Background(), strings.Repeat("a", 64))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("got %T %v, want *APIError", err, err)
+	}
+	if apiErr.Backend != "10.0.0.7:9081" {
+		t.Fatalf("Backend = %q, want the routed shard", apiErr.Backend)
+	}
+	if !strings.Contains(apiErr.Error(), "10.0.0.7:9081") {
+		t.Fatalf("error text omits the backend: %v", apiErr)
 	}
 }
 
